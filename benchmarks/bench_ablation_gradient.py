@@ -1,0 +1,24 @@
+"""Design ablation — exact filter-adjoint BPTT vs the paper's truncated
+eq. (13) (DESIGN.md Section 5).
+
+The paper's printed recursion drops the filter-state adjoints (the
+alpha/beta carries).  Both modes train; the comparison quantifies what
+the truncation costs on a timing-rich task.
+"""
+
+from conftest import bench_experiment
+
+
+def test_ablation_gradient(benchmark):
+    result = bench_experiment(benchmark, "ablation-gradient")
+    summary = result.summary
+    chance = 1.0 / 20.0
+
+    # Both gradient modes learn above chance (the truncated form is the
+    # one the paper presumably trained with, so it must work).
+    assert summary["acc_exact"] > 2 * chance
+    assert summary["acc_truncated"] > 2 * chance
+
+    # The exact adjoints must not be substantially worse than the
+    # truncation (they are the true gradient).
+    assert summary["acc_exact"] >= summary["acc_truncated"] - 0.10

@@ -1,0 +1,40 @@
+"""Fig. 1 — synapse PSP and adaptive-threshold dynamics.
+
+Regenerates the traces of the paper's didactic figure: two synapses'
+PSPs, their weighted sum, and the threshold that jumps on every output
+spike and decays exponentially back toward Vth.
+"""
+
+import numpy as np
+
+from conftest import bench_experiment
+
+
+def test_fig1_dynamics(benchmark):
+    result = bench_experiment(benchmark, "fig1")
+    summary = result.summary
+
+    # The scenario elicits output spikes and the threshold reacts.
+    assert summary["output_spikes"] >= 1
+    assert summary["threshold_peak"] > summary["threshold_base"]
+
+    # Threshold jump after a spike ~ theta (Table I theta = 1, decayed by
+    # one step of tau_r = 4 -> e^(-1/4) ~ 0.78).
+    assert 0.3 < summary["mean_jump_after_spike"] <= 1.0
+
+    threshold = result.data["threshold"]
+    outputs = result.data["outputs"]
+    spikes_at = np.flatnonzero(outputs)
+
+    # Between output spikes the threshold decays monotonically (exponential
+    # relaxation, eq. 8) back toward the base value.
+    quiet = np.ones(len(threshold), dtype=bool)
+    for t in spikes_at:
+        quiet[t:t + 2] = False
+    decay_deltas = np.diff(threshold)[quiet[1:]]
+    assert np.all(decay_deltas <= 1e-9)
+
+    # PSPs are non-negative and the summed PSP equals the parts.
+    np.testing.assert_allclose(
+        result.data["sum"], result.data["psp_1"] + result.data["psp_2"],
+        atol=1e-12)

@@ -1,0 +1,28 @@
+"""Fig. 5 — spatial-temporal pattern association.
+
+The paper's qualitative figure shows the network drawing the handwritten
+digit that matches a spoken digit.  Quantified here: training with the
+van Rossum loss (eqs. 15-16) reduces the output-to-target distance
+substantially below the untrained level, and each trained output matches
+its *own* target better than a shuffled pairing (identity, not just a
+generic average glyph).
+"""
+
+from conftest import bench_experiment
+
+
+def test_fig5_association(benchmark):
+    result = bench_experiment(benchmark, "fig5")
+    summary = result.summary
+
+    # Training cuts the kernel distance (paper trains to visually matching
+    # rasters; we require at least a 25 % reduction at CI scale).
+    assert summary["distance_after"] < 0.75 * summary["distance_before"]
+
+    # Identity: own-target correlation beats shuffled-target correlation.
+    assert summary["correlation_own"] > summary["correlation_cross"]
+    assert summary["correlation_own"] > 0.05
+
+    # The rendered report includes all three rasters of the figure.
+    for fragment in ("input", "target", "output"):
+        assert fragment in result.text

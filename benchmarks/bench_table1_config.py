@@ -1,0 +1,19 @@
+"""Table I — hyper-parameters.
+
+Regenerates the paper's parameter table from the frozen config and checks
+every value against the published ones.
+"""
+
+import numpy as np
+
+from conftest import bench_experiment
+
+
+def test_table1(benchmark):
+    result = bench_experiment(benchmark, "table1")
+    assert result.summary["tau"] == 4.0
+    assert result.summary["tau_r"] == 4.0
+    assert result.summary["batch_size"] == 64
+    assert result.summary["sigma"] == np.float64(1.0 / np.sqrt(2 * np.pi))
+    for fragment in ("AdamW", "0.0001", "0.001"):
+        assert fragment in result.text

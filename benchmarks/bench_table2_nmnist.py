@@ -1,0 +1,31 @@
+"""Table II, N-MNIST rows — classification with adaptive threshold vs
+hard reset.
+
+Paper: 98.40 % adaptive, 95.31 % hard reset (a ~3 pt drop).  Shape
+asserted here (reduced-scale synthetic substitute): the adaptive model
+learns far above chance, swapping in impulse-discretised hard-reset
+neurons does not help and typically costs a little, and the forward-Euler
+reading of eq. (1) under-drives the network to near chance.  The paper's
+published HR number lies between the two readings.
+"""
+
+from conftest import bench_experiment
+
+
+def test_table2_nmnist(benchmark):
+    result = bench_experiment(benchmark, "table2-nmnist")
+    summary = result.summary
+    chance = summary["chance"]
+
+    # The trained adaptive model is far above chance (paper: 98.40 %).
+    assert summary["accuracy"] > 5 * chance
+
+    # Hard reset with preserved charge: no improvement, typically a small
+    # drop (paper: -3.1 pts).
+    assert summary["accuracy_hr"] <= summary["accuracy"] + 0.03
+
+    # Forward-Euler reading: severe under-drive, near chance.
+    assert summary["accuracy_hr_euler"] < 3 * chance
+
+    # Both hard-reset variants are ordered: euler is the worse reading.
+    assert summary["accuracy_hr_euler"] <= summary["accuracy_hr"]

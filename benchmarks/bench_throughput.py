@@ -1,0 +1,76 @@
+"""Engineering throughput benchmarks for the core kernels.
+
+These are conventional pytest-benchmark microbenchmarks (multiple rounds)
+for the kernels everything else is built from: network forward, exact
+BPTT backward, crossbar analog product, cochlea encoding, and the MNA
+transient solver.  They guard against performance regressions and give a
+cost model for scaling the experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RandomState
+from repro.core import CrossEntropyRateLoss, SpikingNetwork, backward
+from repro.data.cochlea import Cochlea, CochleaConfig
+from repro.data.speech import synthesize_digit
+from repro.hardware.crossbar import DifferentialCrossbar
+from repro.hardware.devices import RRAMDeviceConfig
+from repro.hardware.neuron_circuit import NeuronCircuitConfig, simulate_neuron
+
+
+@pytest.fixture(scope="module")
+def forward_setup():
+    net = SpikingNetwork((700, 128, 128, 20), rng=0)
+    for layer in net.layers:
+        layer.weight *= 6.0
+    rng = RandomState(1)
+    x = (rng.random((32, 100, 700)) < 0.03).astype(np.float64)
+    return net, x
+
+
+def test_forward_throughput(benchmark, forward_setup):
+    net, x = forward_setup
+    out, _ = benchmark(lambda: net.run(x))
+    assert out.shape == (32, 100, 20)
+
+
+def test_backward_throughput(benchmark, forward_setup):
+    net, x = forward_setup
+    labels = np.arange(32) % 20
+    loss = CrossEntropyRateLoss()
+    out, record = net.run(x, record=True)
+    _, grad_out = loss.value_and_grad(out, labels)
+
+    result = benchmark(lambda: backward(net, record, grad_out))
+    assert all(np.all(np.isfinite(g)) for g in result.weight_grads)
+
+
+def test_crossbar_matvec_throughput(benchmark):
+    rng = RandomState(2)
+    weights = rng.normal(0, 0.1, (128, 700))
+    xbar = DifferentialCrossbar(
+        weights, RRAMDeviceConfig(levels=16, variation=0.1), rng=3)
+    x = rng.random((64, 700))
+
+    out = benchmark(lambda: xbar.matvec(x))
+    assert out.shape == (64, 128)
+
+
+def test_cochlea_encode_throughput(benchmark):
+    wave = synthesize_digit("english", 3, rng=0)
+    cochlea = Cochlea(CochleaConfig())
+
+    spikes = benchmark(lambda: cochlea.encode(wave, steps=100, rng=0))
+    assert spikes.shape == (100, 700)
+
+
+def test_circuit_transient_throughput(benchmark):
+    config = NeuronCircuitConfig()
+
+    result = benchmark.pedantic(
+        lambda: simulate_neuron([50, 70, 90], config=config,
+                                duration_ns=400),
+        rounds=3, iterations=1,
+    )
+    assert result.output_spike_count() >= 0

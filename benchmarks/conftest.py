@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Each benchmark file regenerates one table/figure of the paper via the
+experiment registry, prints the paper-style report, and asserts the
+*shape* of the result (who wins, direction and rough size of gaps) — not
+absolute numbers, since the default profile runs reduced-scale synthetic
+substitutes on CPU.
+
+Experiment runners are executed exactly once per session and cached, so
+the timing measured by pytest-benchmark is the full experiment cost while
+assertions across files (e.g. fig8 reusing the N-MNIST model) stay cheap.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+_RESULTS: dict = {}
+
+
+def run_once(experiment_id: str):
+    """Run an experiment once per pytest session; cache the result."""
+    if experiment_id not in _RESULTS:
+        _RESULTS[experiment_id] = run_experiment(experiment_id)
+    return _RESULTS[experiment_id]
+
+
+@pytest.fixture
+def experiment(request):
+    """Parametrised access to a cached experiment result."""
+    return run_once(request.param)
+
+
+def bench_experiment(benchmark, experiment_id: str):
+    """Benchmark an experiment (single round) and print its report."""
+    result = benchmark.pedantic(
+        lambda: run_once(experiment_id), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

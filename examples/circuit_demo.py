@@ -1,0 +1,83 @@
+"""The codesigned neuron circuit (paper Section IV, Figs. 6-7) plus the
+Section V-C power / energy / area estimate.
+
+Builds the transistor-level behavioral netlist — synapse RC filter, RRAM
+bit-line with sense resistor, comparator op-amp with an RC feedback filter
+implementing the adaptive threshold, bias op-amp, two output inverters —
+and runs transients showing:
+
+1. a burst of input spikes raising the PSP over the threshold -> exactly
+   one output spike;
+2. the threshold jumping and decaying (adaptive threshold in silicon);
+3. a following input spike being suppressed (refractory behaviour);
+4. the paper's power/energy numbers on the 300-step / 14-spike scenario.
+
+Run:  python examples/circuit_demo.py
+"""
+
+import numpy as np
+
+from repro.common.asciiplot import line_plot
+from repro.common.rng import RandomState
+from repro.common.units import si_format
+from repro.hardware import (
+    NeuronCircuitConfig,
+    estimate_area,
+    estimate_power,
+    simulate_neuron,
+)
+
+
+def main():
+    config = NeuronCircuitConfig()
+    print(f"component values: R = {si_format(config.r_filter, 'Ohm')}, "
+          f"C = {si_format(config.c_filter, 'F')}  ->  "
+          f"RC = {si_format(config.tau_seconds, 's')} "
+          f"({config.tau_steps:.2f} algorithm steps of {config.step_ns} ns)")
+    print(f"threshold bias = {si_format(config.v_bias, 'V')}, "
+          f"VDD = {si_format(config.v_dd, 'V')}\n")
+
+    # Fig. 7 scenario: burst then isolated spikes.
+    result = simulate_neuron([50, 70, 90, 250, 450], config=config,
+                             duration_ns=700)
+    stats = result.summary()
+    decimate = slice(None, None, 10)
+    print(line_plot(
+        {"PSP g(t)": result["g"][decimate],
+         "threshold": result["threshold"][decimate],
+         "filtered input k(t)": result["k"][decimate]},
+        height=14, width=84,
+        title="Fig. 7(a): bit-line PSP vs adaptive threshold "
+              "(burst at 50-90 ns, singles at 250/450 ns)"))
+    print(line_plot(
+        {"comparator (non-ideal)": result["comparator"][decimate],
+         "feedback h(t)": result["feedback"][decimate],
+         "buffered output spike": result["spike"][decimate]},
+        height=10, width=84,
+        title="Fig. 7(b): comparator output, feedback, inverter-restored "
+              "spike"))
+    print(f"measurements: {stats}")
+    assert stats["output_spikes"] == 1, "burst should elicit exactly 1 spike"
+
+    # Section V-C: 300 steps x 10 ns with 14 random input spikes.
+    rng = RandomState(0)
+    steps = np.sort(rng.choice(np.arange(5, 295), size=14, replace=False))
+    power_run = simulate_neuron([float(s) * 10 for s in steps],
+                                config=config, duration_ns=3000, dt_ns=0.5)
+    report = estimate_power(power_run)
+    area = estimate_area(config)
+
+    print("\n--- Section V-C estimates (paper values in parentheses) ---")
+    print(f"min power:  {si_format(report.min_power_w, 'W')}   (1.067 mW)")
+    print(f"max power:  {si_format(report.max_power_w, 'W')}   (1.965 mW)")
+    print(f"avg power:  {si_format(report.avg_power_w, 'W')}   (1.11 mW)")
+    print(f"energy:     {si_format(report.energy_j, 'J')}   (3.329 nJ)")
+    print(f"area:       {area['total_mm2']:.4f} mm^2   (0.0125 mm^2)")
+    print("\narea breakdown (um^2):")
+    for key, value in area.items():
+        if key.endswith("_um2") and key != "total_um2":
+            print(f"  {key.replace('_um2', ''):<18} {value:10.1f}")
+
+
+if __name__ == "__main__":
+    main()

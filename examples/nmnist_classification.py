@@ -1,0 +1,74 @@
+"""N-MNIST classification (paper Section V-A, Table II left column).
+
+Generates the synthetic N-MNIST substitute (procedural digit glyphs seen
+through a simulated DVS camera performing the dataset's three saccades),
+trains the paper's MLP, and runs the hard-reset ablation.  Note how much
+*smaller* the hard-reset penalty is here than on SHD — N-MNIST's class
+information is mostly spatial (the paper cites Iyer et al. [6] for this),
+so destroying temporal state costs little.
+
+Run:  python examples/nmnist_classification.py         (reduced scale)
+      REPRO_PROFILE=full python examples/nmnist_classification.py
+"""
+
+import os
+
+from repro import CrossEntropyRateLoss, Trainer, TrainerConfig
+from repro.analysis import raster_summary, unflatten_dvs
+from repro.common.asciiplot import raster_plot
+from repro.core.calibration import calibrate_firing
+from repro.core.model_zoo import nmnist_mlp
+from repro.data import SyntheticNMNISTConfig, generate_nmnist
+
+
+def main():
+    full = os.environ.get("REPRO_PROFILE", "ci").lower() == "full"
+    data_cfg = SyntheticNMNISTConfig(
+        n_per_class=300 if full else 40,
+        steps=99 if full else 50,
+    )
+    print(f"generating synthetic N-MNIST ({10 * data_cfg.n_per_class} "
+          f"samples, {data_cfg.steps} steps)...")
+    dataset = generate_nmnist(data_cfg, rng=0)
+    train, test = dataset.split(0.8, rng=1)
+
+    x0, y0 = dataset[0]
+    print(raster_plot(x0.T, height=14, width=70,
+                      title=f"DVS event raster for digit {y0} "
+                            "(channels = 34x34x2 flattened)"))
+    print("event statistics:", raster_summary(x0))
+    events = unflatten_dvs(x0, 34, 34)
+    print(f"ON events: {int(events[..., 0].sum())}, "
+          f"OFF events: {int(events[..., 1].sum())}")
+
+    network = nmnist_mlp(profile="paper" if full else "reduced", rng=2)
+    print(f"network: {network} "
+          f"({network.count_parameters():,} parameters)")
+    calibrate_firing(network, train.inputs[:48], target_rate=0.08)
+
+    trainer = Trainer(
+        network, CrossEntropyRateLoss(),
+        TrainerConfig(epochs=30 if full else 12, batch_size=64,
+                      learning_rate=1e-4 if full else 1e-3,
+                      optimizer="adamw"),
+        rng=3,
+    )
+    trainer.fit(train.inputs, train.targets, test.inputs, test.targets,
+                verbose=True)
+
+    adaptive = trainer.evaluate(test.inputs, test.targets)["accuracy"]
+    hard_reset = trainer.evaluate(
+        test.inputs, test.targets,
+        network=network.with_neuron_kind("hard_reset"))["accuracy"]
+
+    print("\n--- Table II (N-MNIST), this run ---")
+    print(f"adaptive threshold (this work):     {100 * adaptive:6.2f} %   "
+          f"(paper: 98.40 %)")
+    print(f"hard reset (same trained weights):  {100 * hard_reset:6.2f} %   "
+          f"(paper HR: 95.31 %)")
+    print("\nCompare with examples/shd_classification.py: the hard-reset "
+          "drop here is small because N-MNIST is spatially separable.")
+
+
+if __name__ == "__main__":
+    main()

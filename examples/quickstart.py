@@ -1,0 +1,79 @@
+"""Quickstart: train the paper's adaptive-threshold SNN on a purely
+temporal task.
+
+The task is deliberately chosen so *only spike timing* separates the
+classes: every sample activates every channel exactly once, but class 0
+sweeps the channels in ascending order and class 1 in descending order.
+A rate code sees the two classes as identical — learning this task is
+direct evidence that the model and the surrogate-gradient BPTT exploit
+temporal structure (the paper's central claim).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CrossEntropyRateLoss,
+    RandomState,
+    SpikingNetwork,
+    Trainer,
+    TrainerConfig,
+)
+from repro.common.asciiplot import raster_plot
+from repro.core.calibration import calibrate_firing
+
+
+def make_temporal_order_task(n_samples: int, steps: int = 40,
+                             channels: int = 20, rng_seed: int = 0):
+    """Class = the direction of a spike wavefront across channels."""
+    rng = RandomState(rng_seed)
+    inputs = np.zeros((n_samples, steps, channels), dtype=np.float64)
+    labels = np.zeros(n_samples, dtype=np.int64)
+    for i in range(n_samples):
+        label = i % 2
+        labels[i] = label
+        order = np.arange(channels) if label == 0 else np.arange(channels)[::-1]
+        start = int(rng.integers(0, steps - channels))
+        for delay, channel in enumerate(order):
+            inputs[i, start + delay, channel] = 1.0
+        noise = rng.random((steps, channels)) < 0.02
+        inputs[i][noise] = 1.0
+    return inputs, labels
+
+
+def main():
+    print(__doc__)
+    train_x, train_y = make_temporal_order_task(160, rng_seed=0)
+    test_x, test_y = make_temporal_order_task(60, rng_seed=1)
+
+    print(raster_plot(train_x[0].T, height=10, width=60,
+                      title="class 0 sample (ascending wavefront)"))
+    print(raster_plot(train_x[1].T, height=10, width=60,
+                      title="class 1 sample (descending wavefront)"))
+
+    # Paper model: adaptive-threshold LIF, erfc surrogate, AdamW (Table I).
+    network = SpikingNetwork((20, 32, 2), rng=2)
+    calibrate_firing(network, train_x[:32], target_rate=0.1)
+
+    trainer = Trainer(
+        network, CrossEntropyRateLoss(),
+        TrainerConfig(epochs=30, batch_size=32, learning_rate=2e-3,
+                      optimizer="adamw"),
+        rng=3,
+    )
+    trainer.fit(train_x, train_y, test_x, test_y, verbose=True)
+
+    final = trainer.evaluate(test_x, test_y)
+    print(f"\nfinal test accuracy: {100 * final['accuracy']:.1f} % "
+          f"(chance: 50 %)")
+
+    # The paper's Table II ablation in miniature: same weights, hard reset.
+    hard_reset = network.with_neuron_kind("hard_reset")
+    hr = trainer.evaluate(test_x, test_y, network=hard_reset)
+    print(f"same weights, hard-reset neurons: {100 * hr['accuracy']:.1f} % "
+          f"(temporal state destroyed on every output spike)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) are unavailable;
+this stub lets ``pip install -e .`` fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Spike-train metrics, distances, and raster utilities."""
+
+from .metrics import (
+    accuracy,
+    active_fraction,
+    confusion_matrix,
+    firing_rate,
+    per_class_accuracy,
+    spike_count_histogram,
+)
+from .raster import (
+    dense_to_events,
+    events_to_dense,
+    flatten_dvs,
+    raster_summary,
+    unflatten_dvs,
+)
+from .spike_distance import (
+    coincidence_factor,
+    pairwise_van_rossum,
+    trace_correlation,
+    van_rossum_distance,
+    victor_purpura_distance,
+)
+from .timing import jitter_time, shuffle_time
+
+__all__ = [
+    "accuracy",
+    "active_fraction",
+    "confusion_matrix",
+    "firing_rate",
+    "per_class_accuracy",
+    "spike_count_histogram",
+    "dense_to_events",
+    "events_to_dense",
+    "flatten_dvs",
+    "raster_summary",
+    "unflatten_dvs",
+    "coincidence_factor",
+    "pairwise_van_rossum",
+    "trace_correlation",
+    "van_rossum_distance",
+    "victor_purpura_distance",
+    "jitter_time",
+    "shuffle_time",
+]

@@ -1,0 +1,77 @@
+"""Classification and firing-statistics metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "firing_rate",
+    "active_fraction",
+    "spike_count_histogram",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of ``predictions == labels``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ShapeError("empty prediction array")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     n_classes: int | None = None) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = samples of true class ``i`` predicted ``j``."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if n_classes is None:
+        n_classes = int(max(predictions.max(), labels.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray,
+                       n_classes: int | None = None) -> np.ndarray:
+    """Recall per true class; NaN for classes absent from ``labels``."""
+    matrix = confusion_matrix(predictions, labels, n_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def firing_rate(spikes: np.ndarray, time_axis: int = 1) -> float:
+    """Mean spike probability per neuron per step."""
+    spikes = np.asarray(spikes)
+    if spikes.size == 0:
+        raise ShapeError("empty spike array")
+    return float(np.mean(spikes > 0))
+
+
+def active_fraction(spikes: np.ndarray, time_axis: int = 1) -> float:
+    """Fraction of neurons that spike at least once over the time axis."""
+    spikes = np.asarray(spikes)
+    any_spike = np.any(spikes > 0, axis=time_axis)
+    return float(np.mean(any_spike))
+
+
+def spike_count_histogram(spikes: np.ndarray, time_axis: int = 1,
+                          bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-neuron spike counts; returns ``(counts, edges)``."""
+    spikes = np.asarray(spikes)
+    totals = spikes.sum(axis=time_axis).ravel()
+    return np.histogram(totals, bins=bins)

@@ -1,0 +1,103 @@
+"""Conversions between dense spike rasters and event lists, plus summaries.
+
+Dense rasters (arrays of shape ``(T, channels)`` or ``(batch, T, channels)``)
+are the working format of the core library; event lists (``(t, channel)``
+or ``(t, x, y, polarity)`` tuples) are the native format of DVS sensors and
+of the paper's Fig. 4/5 scatter plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+__all__ = [
+    "events_to_dense",
+    "dense_to_events",
+    "raster_summary",
+    "flatten_dvs",
+    "unflatten_dvs",
+]
+
+
+def events_to_dense(events: np.ndarray, steps: int, channels: int) -> np.ndarray:
+    """Accumulate an event list into a dense (steps, channels) count raster.
+
+    ``events`` is an integer array of shape (n_events, 2) with columns
+    ``(t, channel)``.  Multiple events in one cell accumulate.
+    """
+    raster = np.zeros((steps, channels), dtype=np.float64)
+    events = np.asarray(events)
+    if events.size == 0:
+        return raster
+    if events.ndim != 2 or events.shape[1] != 2:
+        raise ShapeError(f"events must be (n, 2), got {events.shape}")
+    t = events[:, 0].astype(int)
+    c = events[:, 1].astype(int)
+    if t.min() < 0 or t.max() >= steps:
+        raise ShapeError(f"event time out of range [0, {steps})")
+    if c.min() < 0 or c.max() >= channels:
+        raise ShapeError(f"event channel out of range [0, {channels})")
+    np.add.at(raster, (t, c), 1.0)
+    return raster
+
+
+def dense_to_events(raster: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`events_to_dense` (cells with count k emit k events).
+
+    Returns an (n_events, 2) int array sorted by time then channel.
+    """
+    raster = np.asarray(raster)
+    if raster.ndim != 2:
+        raise ShapeError(f"expected (steps, channels), got {raster.shape}")
+    times, channels = np.nonzero(raster > 0)
+    counts = raster[times, channels].astype(int)
+    events = np.repeat(
+        np.stack([times, channels], axis=1), counts, axis=0
+    )
+    return events.astype(np.int64)
+
+
+def raster_summary(raster: np.ndarray) -> dict:
+    """Basic statistics of a (T, channels) raster (for Fig. 4-style reports)."""
+    raster = np.asarray(raster)
+    if raster.ndim != 2:
+        raise ShapeError(f"expected (steps, channels), got {raster.shape}")
+    steps, channels = raster.shape
+    total = float(raster.sum())
+    active = int(np.count_nonzero(raster.sum(axis=0)))
+    per_step = raster.sum(axis=1)
+    return {
+        "steps": steps,
+        "channels": channels,
+        "total_spikes": total,
+        "active_channels": active,
+        "mean_rate": total / (steps * channels),
+        "peak_step_activity": float(per_step.max()) if steps else 0.0,
+        "first_spike_step": int(np.argmax(per_step > 0)) if total else -1,
+    }
+
+
+def flatten_dvs(events: np.ndarray, height: int = 34, width: int = 34) -> np.ndarray:
+    """Flatten a (T, H, W, 2) DVS count tensor to (T, H*W*2) channels.
+
+    Channel layout: ``channel = (y*width + x)*2 + polarity`` — the layout
+    assumed by the N-MNIST MLP input layer.
+    """
+    events = np.asarray(events)
+    if events.ndim != 4 or events.shape[1:] != (height, width, 2):
+        raise ShapeError(
+            f"expected (T, {height}, {width}, 2), got {events.shape}"
+        )
+    return events.reshape(events.shape[0], height * width * 2)
+
+
+def unflatten_dvs(raster: np.ndarray, height: int = 34, width: int = 34) -> np.ndarray:
+    """Inverse of :func:`flatten_dvs`."""
+    raster = np.asarray(raster)
+    if raster.ndim != 2 or raster.shape[1] != height * width * 2:
+        raise ShapeError(
+            f"expected (T, {height * width * 2}), got {raster.shape}"
+        )
+    return raster.reshape(raster.shape[0], height, width, 2)

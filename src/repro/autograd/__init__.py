@@ -1,0 +1,50 @@
+"""Minimal reverse-mode automatic differentiation (verification substrate).
+
+Used by the test suite to cross-check the hand-derived BPTT in
+:mod:`repro.core.backprop`: the same unrolled network is rebuilt on the
+tape (:mod:`repro.autograd.reference`) and both gradient paths must agree.
+"""
+
+from .functional import cross_entropy_with_logits, van_rossum_loss
+from .ops import (
+    add,
+    exp,
+    log,
+    matmul,
+    mul,
+    neg,
+    scale,
+    sigmoid,
+    smooth_spike,
+    spike,
+    square,
+    sub,
+    tmean,
+    tsum,
+)
+from .reference import run_adaptive_reference, run_hard_reset_reference
+from .tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "cross_entropy_with_logits",
+    "van_rossum_loss",
+    "add",
+    "exp",
+    "log",
+    "matmul",
+    "mul",
+    "neg",
+    "scale",
+    "sigmoid",
+    "smooth_spike",
+    "spike",
+    "square",
+    "sub",
+    "tmean",
+    "tsum",
+    "run_adaptive_reference",
+    "run_hard_reset_reference",
+    "Tensor",
+    "as_tensor",
+    "unbroadcast",
+]

@@ -1,0 +1,76 @@
+"""Composite differentiable functions: stable softmax cross-entropy and the
+van Rossum loss, built for the autograd engine.
+
+These mirror :mod:`repro.core.loss` so that the whole training computation
+(forward + loss) can be replicated in the AD engine for gradient
+cross-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import _make, add, scale, square, sub, tsum
+from .tensor import Tensor, as_tensor
+
+__all__ = ["cross_entropy_with_logits", "van_rossum_loss"]
+
+
+def cross_entropy_with_logits(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy (single fused primitive for stability).
+
+    Parameters
+    ----------
+    logits:
+        (batch, classes) tensor.
+    labels:
+        Integer labels, shape (batch,).
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels)
+    batch = logits.data.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    eps = 1e-12
+    loss_value = -np.mean(np.log(probs[np.arange(batch), labels] + eps))
+
+    def backward(grad):
+        if logits.requires_grad:
+            one_hot = np.zeros_like(probs)
+            one_hot[np.arange(batch), labels] = 1.0
+            logits._accumulate(grad * (probs - one_hot) / batch)
+
+    return _make(loss_value, (logits,), backward)
+
+
+def van_rossum_loss(outputs: list[Tensor], targets: np.ndarray,
+                    tau_m: float = 4.0, tau_s: float = 1.0) -> Tensor:
+    """Paper eqs. 15-16 built entirely from differentiable ops.
+
+    Parameters
+    ----------
+    outputs:
+        Per-step output tensors, each of shape (batch, trains); length T.
+    targets:
+        Constant target spikes, shape (batch, T, trains).
+    """
+    steps = len(outputs)
+    if steps == 0:
+        raise ValueError("outputs must contain at least one step")
+    targets = np.asarray(targets, dtype=np.float64)
+    batch = targets.shape[0]
+    alpha_m = float(np.exp(-1.0 / tau_m))
+    alpha_s = float(np.exp(-1.0 / tau_s))
+
+    trace_m: Tensor | None = None
+    trace_s: Tensor | None = None
+    total: Tensor | None = None
+    for t in range(steps):
+        diff = sub(outputs[t], targets[:, t, :])
+        trace_m = diff if trace_m is None else add(scale(trace_m, alpha_m), diff)
+        trace_s = diff if trace_s is None else add(scale(trace_s, alpha_s), diff)
+        err = sub(trace_m, trace_s)
+        term = tsum(square(err))
+        total = term if total is None else add(total, term)
+    return scale(total, 1.0 / (2.0 * steps * batch))

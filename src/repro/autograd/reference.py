@@ -1,0 +1,145 @@
+"""Autograd reference implementation of the paper's network (eqs. 6-11).
+
+This module rebuilds the *exact same* unrolled computation as
+:class:`repro.core.network.SpikingNetwork` + :func:`repro.core.backprop.backward`,
+but using the tape-based engine, so the hand-derived gradients can be
+verified mechanically.  Two spike relaxations are supported:
+
+* ``smooth=False`` — Heaviside forward with surrogate backward (the
+  training semantics).  Gradients must match the manual BPTT to machine
+  precision.
+* ``smooth=True`` — the surrogate's ``smooth_step`` replaces the Heaviside
+  *in the forward as well*, making the whole computation differentiable so
+  autograd itself can be validated against finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.neurons import NeuronParameters
+from ..core.surrogate import ErfcSurrogate, SurrogateGradient
+from .ops import add, matmul, scale, smooth_spike, spike, sub
+from .tensor import Tensor
+
+__all__ = ["run_adaptive_reference", "run_hard_reset_reference"]
+
+
+def run_adaptive_reference(weights: list[Tensor], inputs: np.ndarray,
+                           params: NeuronParameters | None = None,
+                           surrogate: SurrogateGradient | None = None,
+                           smooth: bool = False) -> list[list[Tensor]]:
+    """Unroll the adaptive-threshold network in the autograd graph.
+
+    Parameters
+    ----------
+    weights:
+        One tensor per layer with shape ``(n_in, n_out)`` — note this is
+        the *transpose* of the core library's ``(n_out, n_in)`` layout so
+        the graph uses plain ``k @ W``.
+    inputs:
+        Constant input spikes, shape (batch, T, n_input).
+    params, surrogate:
+        Model hyper-parameters (Table I defaults).
+    smooth:
+        Use the fully smooth relaxation (see module docstring).
+
+    Returns
+    -------
+    list of per-layer lists of per-step output tensors
+        ``result[-1][t]`` is the output layer's spike tensor at step ``t``.
+    """
+    params = params or NeuronParameters()
+    surrogate = surrogate or ErfcSurrogate()
+    spike_fn = smooth_spike if smooth else spike
+    alpha = float(np.exp(-1.0 / params.tau))
+    beta = float(np.exp(-1.0 / params.tau_r))
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, steps, _ = inputs.shape
+
+    n_layers = len(weights)
+    outputs: list[list[Tensor]] = [[] for _ in range(n_layers)]
+    k_state: list[Tensor | None] = [None] * n_layers
+    h_state: list[Tensor | None] = [None] * n_layers
+    prev_out: list[Tensor | None] = [None] * n_layers
+
+    for t in range(steps):
+        spikes_below: Tensor | np.ndarray = inputs[:, t, :]
+        for layer, weight in enumerate(weights):
+            if not isinstance(spikes_below, Tensor):
+                spikes_below = Tensor(spikes_below)
+            # k[t] = alpha*k[t-1] + O_below[t]        (eq. 9)
+            if k_state[layer] is None:
+                k_state[layer] = spikes_below
+            else:
+                k_state[layer] = add(scale(k_state[layer], alpha), spikes_below)
+            # g[t] = k[t] @ W                          (eq. 7)
+            g = matmul(k_state[layer], weight)
+            # h[t] = beta*h[t-1] + O[t-1]; h[-1] = O[-1] = 0 => h[0] = 0.
+            if prev_out[layer] is None:
+                h = Tensor(np.zeros_like(g.data))      # constant zero
+            else:
+                h = add(scale(h_state[layer], beta), prev_out[layer])
+            h_state[layer] = h
+            # v[t] = g - theta*h                       (eq. 6)
+            v = sub(g, scale(h, params.theta))
+            out = spike_fn(v, params.v_th, surrogate)  # eqs. 10-11
+            outputs[layer].append(out)
+            prev_out[layer] = out
+            spikes_below = out
+    return outputs
+
+
+def run_hard_reset_reference(weights: list[Tensor], inputs: np.ndarray,
+                             params: NeuronParameters | None = None,
+                             surrogate: SurrogateGradient | None = None,
+                             smooth: bool = False) -> list[list[Tensor]]:
+    """Unroll the hard-reset baseline (eq. 1, reset gate detached).
+
+    Matches :func:`repro.core.backprop._backward_hard_reset` semantics: the
+    multiplicative reset gate ``(1 - O[t])`` is a *constant* in the graph
+    (built from ``out.data``, not ``out``), exactly like the manual code.
+    """
+    params = params or NeuronParameters()
+    surrogate = surrogate or ErfcSurrogate()
+    spike_fn = smooth_spike if smooth else spike
+    alpha = float(np.exp(-1.0 / params.tau))
+    inputs = np.asarray(inputs, dtype=np.float64)
+    batch, steps, _ = inputs.shape
+
+    n_layers = len(weights)
+    outputs: list[list[Tensor]] = [[] for _ in range(n_layers)]
+    v_state: list[Tensor | None] = [None] * n_layers
+
+    for t in range(steps):
+        spikes_below: Tensor | np.ndarray = inputs[:, t, :]
+        for layer, weight in enumerate(weights):
+            drive = matmul(
+                spikes_below if isinstance(spikes_below, Tensor)
+                else Tensor(spikes_below),
+                weight,
+            )
+            if v_state[layer] is None:
+                v_pre = drive
+            else:
+                v_pre = add(scale(v_state[layer], alpha), drive)
+            out = spike_fn(v_pre, params.v_th, surrogate)
+            # Detached reset gate: gradient does not flow through (1 - O).
+            gate = 1.0 - out.data
+            v_state[layer] = scale_by_constant(v_pre, gate)
+            outputs[layer].append(out)
+            spikes_below = out
+    return outputs
+
+
+def scale_by_constant(tensor: Tensor, constant: np.ndarray) -> Tensor:
+    """Elementwise multiply by a *constant* array (no gradient to it)."""
+    from .ops import _make
+
+    constant = np.asarray(constant, dtype=np.float64)
+
+    def backward(grad):
+        if tensor.requires_grad:
+            tensor._accumulate(grad * constant)
+
+    return _make(tensor.data * constant, (tensor,), backward)

@@ -1,0 +1,43 @@
+"""Shared infrastructure: RNG management, configs, units, tables, plotting."""
+
+from .config import BaseConfig
+from .errors import (
+    CircuitError,
+    ConfigError,
+    DatasetError,
+    ExperimentError,
+    ReproError,
+    SerializationError,
+    ShapeError,
+    StateError,
+    check_shape,
+)
+from .rng import RandomState, as_random_state
+from .tables import Table, format_table
+from .units import FEMTO, GIGA, KILO, MEGA, MICRO, MILLI, NANO, PICO, si_format
+
+__all__ = [
+    "BaseConfig",
+    "CircuitError",
+    "ConfigError",
+    "DatasetError",
+    "ExperimentError",
+    "ReproError",
+    "SerializationError",
+    "ShapeError",
+    "StateError",
+    "check_shape",
+    "RandomState",
+    "as_random_state",
+    "Table",
+    "format_table",
+    "FEMTO",
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "si_format",
+]

@@ -1,0 +1,130 @@
+"""ASCII plotting for environments without matplotlib.
+
+The paper's figures are regenerated as *data series* by the benchmark
+harness; for quick human inspection the examples and benches also render
+those series as monospace line plots and spike rasters.
+
+Two primitives are provided:
+
+* :func:`line_plot` — one or more y-series on a shared x axis;
+* :func:`raster_plot` — a (channels x time) binary spike raster, down-sampled
+  to a character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "raster_plot", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a single series as a one-line density string.
+
+    Values are min-max normalised and mapped onto a 10-level character ramp;
+    the series is resampled to ``width`` columns.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        # Block-max resampling keeps spikes visible.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].max() if b > a else data[min(a, data.size - 1)]
+                         for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo if hi > lo else 1.0
+    indices = ((data - lo) / span * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def line_plot(series: Mapping[str, Sequence[float]], height: int = 12,
+              width: int = 70, title: str = "") -> str:
+    """Render one or more named series as an ASCII line plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from legend label to y-values.  All series share the x axis
+        (sample index) and the y scale.
+    height, width:
+        Character-grid size of the plot area.
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        Multi-line plot; each series uses a distinct glyph, listed in the
+        legend below the plot.
+    """
+    if not series:
+        return title
+    glyphs = "*o+x#@%&"
+    arrays = {name: np.asarray(vals, dtype=float) for name, vals in series.items()}
+    n_max = max(a.size for a in arrays.values())
+    if n_max == 0:
+        return title
+    lo = min(float(a.min()) for a in arrays.values() if a.size)
+    hi = max(float(a.max()) for a in arrays.values() if a.size)
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, data) in enumerate(arrays.items()):
+        glyph = glyphs[k % len(glyphs)]
+        if data.size == 0:
+            continue
+        xs = np.linspace(0, width - 1, data.size).astype(int)
+        ys = ((data - lo) / span * (height - 1)).astype(int)
+        for x, y in zip(xs, ys):
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:12.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{lo:12.4g} +" + "-" * width)
+    legend = "   ".join(f"{glyphs[k % len(glyphs)]} {name}"
+                        for k, name in enumerate(arrays))
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def raster_plot(spikes: np.ndarray, height: int = 20, width: int = 70,
+                title: str = "") -> str:
+    """Render a (channels, time) spike raster on a character grid.
+
+    The raster is down-sampled by OR-ing spikes within each character cell,
+    so sparse activity stays visible.  Channel 0 is drawn at the bottom,
+    matching the paper's figures.
+    """
+    data = np.asarray(spikes)
+    if data.ndim != 2:
+        raise ValueError(f"raster_plot expects (channels, time), got {data.shape}")
+    channels, steps = data.shape
+    height = min(height, max(channels, 1))
+    width = min(width, max(steps, 1))
+    row_edges = np.linspace(0, channels, height + 1).astype(int)
+    col_edges = np.linspace(0, steps, width + 1).astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for r in range(height - 1, -1, -1):
+        r0, r1 = row_edges[r], row_edges[r + 1]
+        row_chars = []
+        for c in range(width):
+            c0, c1 = col_edges[c], col_edges[c + 1]
+            block = data[r0:max(r1, r0 + 1), c0:max(c1, c0 + 1)]
+            row_chars.append("#" if np.any(block) else " ")
+        lines.append("|" + "".join(row_chars) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" channels={channels} steps={steps} "
+                 f"spikes={int(np.count_nonzero(data))}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Lightweight validated configuration objects.
+
+Experiment and model configurations are frozen dataclasses built on
+:class:`BaseConfig`, which adds:
+
+* recursive ``to_dict`` / ``from_dict`` round-tripping (JSON-safe),
+* a ``validate`` hook called after construction,
+* ``replace`` for creating modified copies.
+
+Keeping configs as plain data (instead of ad-hoc keyword soup) makes every
+experiment reproducible from a single serialisable object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Type, TypeVar
+
+from .errors import ConfigError
+
+__all__ = ["BaseConfig", "config_field"]
+
+T = TypeVar("T", bound="BaseConfig")
+
+
+def config_field(default, doc: str = ""):
+    """A dataclass field carrying a human-readable description."""
+    return dataclasses.field(default=default, metadata={"doc": doc})
+
+
+@dataclasses.dataclass(frozen=True)
+class BaseConfig:
+    """Base class for frozen, validated, serialisable configs."""
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Override to raise :class:`ConfigError` on invalid field values."""
+
+    def replace(self: T, **changes: Any) -> T:
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Recursively convert to a JSON-safe dict (with a ``__config__`` tag)."""
+        out: dict[str, Any] = {"__config__": type(self).__name__}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, BaseConfig):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls: Type[T], data: dict) -> T:
+        """Reconstruct a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigError` so stale configs fail loudly
+        rather than silently dropping fields.
+        """
+        payload = dict(data)
+        payload.pop("__config__", None)
+        field_map = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(payload) - set(field_map)
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__}: unknown config keys {sorted(unknown)}"
+            )
+        kwargs = {}
+        for name, value in payload.items():
+            field = field_map[name]
+            if isinstance(value, dict) and "__config__" in value:
+                sub_cls = _resolve_config_type(field.type)
+                if sub_cls is not None:
+                    value = sub_cls.from_dict(value)
+            if isinstance(value, list) and _field_wants_tuple(field):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls: Type[T], text: str) -> T:
+        return cls.from_dict(json.loads(text))
+
+    # -- validation helpers ------------------------------------------------
+    def require(self, condition: bool, message: str) -> None:
+        """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+        if not condition:
+            raise ConfigError(f"{type(self).__name__}: {message}")
+
+    def require_positive(self, name: str) -> None:
+        value = getattr(self, name)
+        self.require(value > 0, f"{name} must be positive, got {value}")
+
+    def require_non_negative(self, name: str) -> None:
+        value = getattr(self, name)
+        self.require(value >= 0, f"{name} must be non-negative, got {value}")
+
+    def require_in_range(self, name: str, low: float, high: float) -> None:
+        value = getattr(self, name)
+        self.require(low <= value <= high,
+                     f"{name} must be in [{low}, {high}], got {value}")
+
+
+def _resolve_config_type(annotation) -> Type[BaseConfig] | None:
+    """Best-effort resolution of a dataclass field annotation to a config class."""
+    if isinstance(annotation, type) and issubclass(annotation, BaseConfig):
+        return annotation
+    return None
+
+
+def _field_wants_tuple(field: dataclasses.Field) -> bool:
+    annotation = field.type
+    if isinstance(annotation, str):
+        return annotation.startswith(("tuple", "Tuple"))
+    if annotation is tuple:
+        return True
+    origin = getattr(annotation, "__origin__", None)
+    return origin is tuple

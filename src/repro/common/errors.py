@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by library code derive from
+:class:`ReproError`, so a downstream user can catch the whole family with
+one ``except`` clause while still letting genuine programming errors
+(``TypeError`` from misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class ShapeError(ReproError):
+    """An array argument had an incompatible shape."""
+
+
+class StateError(ReproError):
+    """A stateful object was used before its state was initialised."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed or a circuit simulation failed to converge."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class SerializationError(ReproError):
+    """A model or dataset artifact could not be saved or restored."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed to run."""
+
+
+def check_shape(array, expected: tuple, name: str) -> None:
+    """Raise :class:`ShapeError` unless ``array.shape == expected``.
+
+    ``expected`` may contain ``None`` entries acting as wildcards, e.g.
+    ``(None, 700)`` accepts any batch dimension.
+
+    Parameters
+    ----------
+    array:
+        Any object with a ``.shape`` attribute.
+    expected:
+        Tuple of ints and/or ``None`` wildcards.
+    name:
+        Human-readable argument name used in the error message.
+    """
+    shape = tuple(array.shape)
+    if len(shape) != len(expected):
+        raise ShapeError(
+            f"{name}: expected {len(expected)} dimensions {expected}, "
+            f"got shape {shape}"
+        )
+    for axis, (got, want) in enumerate(zip(shape, expected)):
+        if want is not None and got != want:
+            raise ShapeError(
+                f"{name}: axis {axis} expected {want}, got {got} "
+                f"(full shape {shape}, expected {expected})"
+            )

@@ -1,0 +1,100 @@
+"""Saving and loading model parameters and experiment artifacts.
+
+Artifacts are stored as a ``.npz`` archive of named arrays plus a JSON
+sidecar of metadata (configs, metrics, provenance).  Both files share a stem
+so an artifact can be moved around as a pair.
+
+The format is intentionally dumb: no pickling, no executable content — a
+model file from an untrusted source can at worst contain wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+import numpy as np
+
+from .errors import SerializationError
+
+__all__ = ["save_arrays", "load_arrays", "save_json", "load_json"]
+
+
+def save_arrays(path: str, arrays: Mapping[str, np.ndarray],
+                metadata: dict | None = None) -> None:
+    """Save named arrays to ``path`` (``.npz``) with an optional JSON sidecar.
+
+    Parameters
+    ----------
+    path:
+        Target path; a ``.npz`` suffix is appended if missing.
+    arrays:
+        Mapping from name to array.  Names must be non-empty strings.
+    metadata:
+        JSON-serialisable dict written next to the archive as ``<stem>.json``.
+    """
+    if not arrays:
+        raise SerializationError("refusing to save an empty artifact")
+    for name in arrays:
+        if not isinstance(name, str) or not name:
+            raise SerializationError(f"invalid array name: {name!r}")
+    target = path if path.endswith(".npz") else path + ".npz"
+    directory = os.path.dirname(os.path.abspath(target))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(target, **{k: np.asarray(v) for k, v in arrays.items()})
+    if metadata is not None:
+        save_json(_sidecar_path(target), metadata)
+
+
+def load_arrays(path: str) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a ``.npz`` artifact; returns ``(arrays, metadata)``.
+
+    Metadata is ``{}`` if no sidecar exists.
+    """
+    target = path if path.endswith(".npz") else path + ".npz"
+    if not os.path.exists(target):
+        raise SerializationError(f"artifact not found: {target}")
+    with np.load(target) as archive:
+        arrays = {name: archive[name].copy() for name in archive.files}
+    sidecar = _sidecar_path(target)
+    metadata = load_json(sidecar) if os.path.exists(sidecar) else {}
+    return arrays, metadata
+
+
+def save_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as pretty-printed JSON (creating directories)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    try:
+        text = json.dumps(payload, indent=2, sort_keys=True, default=_json_default)
+    except TypeError as exc:
+        raise SerializationError(f"metadata is not JSON-serialisable: {exc}") from exc
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def load_json(path: str) -> dict:
+    """Read a JSON file written by :func:`save_json`."""
+    if not os.path.exists(path):
+        raise SerializationError(f"JSON artifact not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _sidecar_path(npz_path: str) -> str:
+    stem, _ = os.path.splitext(npz_path)
+    return stem + ".json"
+
+
+def _json_default(value):
+    """Coerce numpy scalars/arrays in metadata to plain Python types."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")

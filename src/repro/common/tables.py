@@ -1,0 +1,86 @@
+"""Paper-style plain-text table rendering.
+
+The benchmark harness reproduces each table of the paper as printed rows;
+this module renders those rows as aligned monospace tables so benchmark
+output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+class Table:
+    """An incrementally-built text table.
+
+    Example
+    -------
+    >>> t = Table(["Model", "Accuracy"], title="Classification Results")
+    >>> t.add_row(["This work", "98.40"])
+    >>> t.add_row(["This work (HR)", "95.31"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Classification Results
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+        self._separators: set[int] = set()
+
+    def add_row(self, row: Sequence[object]) -> None:
+        """Append a row; values are stringified, floats with 4 sig. digits."""
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule before the next row to be added."""
+        self._separators.add(len(self.rows))
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.columns))
+        lines.append(rule)
+        for index, row in enumerate(self.rows):
+            if index in self._separators and index > 0:
+                lines.append(rule)
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """One-shot helper: build and render a :class:`Table`."""
+    table = Table(columns, title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

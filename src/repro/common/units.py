@@ -1,0 +1,76 @@
+"""SI unit constants and pretty-printing helpers for the hardware modules.
+
+The analog circuit simulator works in plain SI units (volts, amperes, ohms,
+farads, seconds).  This module provides the multipliers used when entering
+component values (``4.56 * KILO`` ohms, ``10.14 * PICO`` farads, ``10 *
+NANO`` seconds) and a formatter that renders a raw SI value with an
+engineering prefix (``si_format(3.329e-9, "J") == "3.329 nJ"``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FEMTO",
+    "PICO",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "si_format",
+]
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+_PREFIXES = [
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def si_format(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an engineering prefix.
+
+    Parameters
+    ----------
+    value:
+        Raw SI value, e.g. ``3.329e-9``.
+    unit:
+        Unit suffix, e.g. ``"J"`` or ``"W"``.
+    digits:
+        Significant digits to keep.
+
+    Examples
+    --------
+    >>> si_format(3.329e-9, "J")
+    '3.329 nJ'
+    >>> si_format(0.00111, "W")
+    '1.11 mW'
+    >>> si_format(0.0, "V")
+    '0 V'
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text} {prefix}{unit}".rstrip()
+    # Smaller than a femto-unit: fall back to scientific notation.
+    return f"{value:.{digits}g} {unit}".rstrip()

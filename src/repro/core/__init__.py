@@ -1,0 +1,80 @@
+"""The paper's algorithmic contribution: filter-based adaptive-threshold
+LIF neurons, surrogate-gradient BPTT, and the two task losses."""
+
+from .backprop import GradientResult, backward
+from .filters import (
+    DoubleExponentialKernel,
+    ExponentialFilter,
+    decay_from_tau,
+    exponential_filter,
+    exponential_filter_adjoint,
+    tau_from_decay,
+)
+from .layers import SpikingLinear
+from .loss import CrossEntropyRateLoss, VanRossumLoss, softmax
+from .model_zoo import association_net, nmnist_mlp, shd_mlp
+from .network import RunRecord, SpikingNetwork
+from .neurons import AdaptiveLIFNeuron, HardResetLIFNeuron, NeuronParameters, make_neuron
+from .optim import SGD, Adam, AdamW, clip_grad_norm, make_optimizer
+from .schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ScheduledTrainer,
+    StepSchedule,
+    WarmupSchedule,
+)
+from .surrogate import (
+    PAPER_SIGMA,
+    ErfcSurrogate,
+    RectangularSurrogate,
+    SigmoidSurrogate,
+    SurrogateGradient,
+    TriangleSurrogate,
+    get_surrogate,
+)
+from .trainer import EpochStats, Trainer, TrainerConfig, run_in_batches
+
+__all__ = [
+    "GradientResult",
+    "backward",
+    "DoubleExponentialKernel",
+    "ExponentialFilter",
+    "decay_from_tau",
+    "exponential_filter",
+    "exponential_filter_adjoint",
+    "tau_from_decay",
+    "SpikingLinear",
+    "CrossEntropyRateLoss",
+    "VanRossumLoss",
+    "softmax",
+    "association_net",
+    "nmnist_mlp",
+    "shd_mlp",
+    "RunRecord",
+    "SpikingNetwork",
+    "AdaptiveLIFNeuron",
+    "HardResetLIFNeuron",
+    "NeuronParameters",
+    "make_neuron",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "make_optimizer",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "ScheduledTrainer",
+    "StepSchedule",
+    "WarmupSchedule",
+    "PAPER_SIGMA",
+    "ErfcSurrogate",
+    "RectangularSurrogate",
+    "SigmoidSurrogate",
+    "SurrogateGradient",
+    "TriangleSurrogate",
+    "get_surrogate",
+    "EpochStats",
+    "Trainer",
+    "TrainerConfig",
+    "run_in_batches",
+]

@@ -1,0 +1,208 @@
+"""Backpropagation through time for the filter-based spiking network.
+
+This module implements the paper's training algorithm (Section III).  The
+network equations (6)-(11) are unrolled in time (Fig. 2) and differentiated
+with the Heaviside replaced by the erfc pseudo-gradient (eq. 14).
+
+Two gradient modes are provided:
+
+* ``exact`` (default) — the full adjoint recursion.  The paper's eq. (13)
+  compresses the derivation; writing out every dependency of the unrolled
+  graph adds two filter-state adjoints:
+
+  - synapse-filter adjoint ``a_k[t] = W^T dE/dv[t] + alpha * a_k[t+1]``
+    (the error reaching filter state ``k[t]`` also flows *through the
+    filter's own recursion* into ``k[t+1]``),
+  - reset-filter adjoint ``a_h[t] = -theta * dE/dv[t] + beta * a_h[t+1]``.
+
+  The spike adjoint is then
+  ``dE/dO_l[t] = (loss term) + a_k^{l+1}[t] + a_h^l[t+1]``.
+
+* ``truncated`` — the two-term form as literally printed in eq. (13):
+  the cross-layer term ``W^T(eps*delta)`` without the alpha-carry, and the
+  one-step reset term ``-theta * delta[t+1]*eps[t+1]`` without the
+  beta-carry.  This is cheaper but biased; the ablation bench
+  (``bench_ablation_gradient``) compares the two.
+
+Correctness of ``exact`` is verified against (a) central finite differences
+and (b) the independent :mod:`repro.autograd` implementation, in
+``tests/unit/test_backprop.py`` and ``tests/property/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+from .network import RunRecord, SpikingNetwork
+
+__all__ = ["backward", "GradientResult"]
+
+
+class GradientResult:
+    """Output of :func:`backward`.
+
+    Attributes
+    ----------
+    weight_grads:
+        Per-layer ``dE/dW`` arrays matching ``network.weights`` shapes.
+    input_grad:
+        ``dE/d(input spikes)``, shape (batch, T, n_input).  Useful for
+        sensitivity analysis and tests.
+    """
+
+    def __init__(self, weight_grads: list[np.ndarray], input_grad: np.ndarray):
+        self.weight_grads = weight_grads
+        self.input_grad = input_grad
+
+
+def backward(network: SpikingNetwork, record: RunRecord,
+             grad_outputs: np.ndarray, mode: str = "exact") -> GradientResult:
+    """BPTT through a recorded forward run.
+
+    Parameters
+    ----------
+    network:
+        The network that produced ``record`` (weights must be unchanged
+        since the forward pass).
+    record:
+        A :class:`~repro.core.network.RunRecord` from
+        ``network.run(..., record=True)``.
+    grad_outputs:
+        ``dE/dO_L``, the loss gradient with respect to the last layer's
+        output spikes, shape (batch, T, n_out).
+    mode:
+        ``"exact"`` or ``"truncated"`` (see module docstring).
+
+    Returns
+    -------
+    GradientResult
+        Weight gradients (summed over the batch — divide by batch size in
+        the loss if a mean is wanted) and the input-spike gradient.
+    """
+    if mode not in ("exact", "truncated"):
+        raise ValueError(f"mode must be 'exact' or 'truncated', got {mode!r}")
+    outputs = record.outputs
+    if grad_outputs.shape != outputs.shape:
+        raise ShapeError(
+            f"grad_outputs shape {grad_outputs.shape} != outputs {outputs.shape}"
+        )
+
+    grad_spikes = np.asarray(grad_outputs, dtype=np.float64)
+    weight_grads: list[np.ndarray] = [None] * len(network.layers)
+
+    for index in range(len(network.layers) - 1, -1, -1):
+        layer = network.layers[index]
+        layer_record = record.layers[index]
+        if layer.neuron_kind == "adaptive":
+            w_grad, grad_spikes = _backward_adaptive(
+                layer, layer_record, grad_spikes, mode
+            )
+        else:
+            w_grad, grad_spikes = _backward_hard_reset(
+                layer, layer_record, record.layer_input(index), grad_spikes
+            )
+        weight_grads[index] = w_grad
+
+    return GradientResult(weight_grads=weight_grads, input_grad=grad_spikes)
+
+
+def _backward_adaptive(layer, layer_record, grad_spikes: np.ndarray,
+                       mode: str) -> tuple[np.ndarray, np.ndarray]:
+    """Adjoint recursion for one adaptive-threshold layer.
+
+    Forward equations (per step, batch-vectorised)::
+
+        k[t] = alpha*k[t-1] + x[t]          # synapse filter, eq. 9
+        g[t] = k[t] @ W.T                   # crossbar, eq. 7
+        h[t] = beta*h[t-1] + O[t-1]         # reset filter, eq. 8
+        v[t] = g[t] - theta*h[t]            # eq. 6
+        O[t] = U(v[t] - v_th)               # eq. 10/11
+    """
+    weight = layer.weight
+    params = layer.params
+    alpha = layer.alpha
+    beta = layer.neuron.beta_r
+    theta = params.theta
+    exact = mode == "exact"
+
+    k = layer_record.k                # (B, T, n_in)
+    v = layer_record.v                # (B, T, n_out)
+    batch, steps, n_out = v.shape
+    n_in = k.shape[2]
+
+    eps = layer.surrogate.derivative(v - params.v_th)   # (B, T, n_out)
+
+    w_grad = np.zeros_like(weight)
+    grad_inputs = np.zeros((batch, steps, n_in), dtype=np.float64)
+
+    a_h = np.zeros((batch, n_out), dtype=np.float64)    # dE/dh[t+1]
+    a_k = np.zeros((batch, n_in), dtype=np.float64)     # dE/dk[t+1]
+    delta_v_next = np.zeros((batch, n_out), dtype=np.float64)
+
+    for t in range(steps - 1, -1, -1):
+        if exact:
+            # h[t+1] = beta*h[t] + O[t]  =>  dE/dO[t] += dE/dh[t+1]
+            reset_term = a_h
+        else:
+            # Paper eq. 13 second term: -theta * delta[t+1] * eps[t+1].
+            reset_term = -theta * delta_v_next
+        delta_o = grad_spikes[:, t, :] + reset_term
+        delta_v = delta_o * eps[:, t, :]
+
+        # Weight gradient: g[t] = k[t] @ W.T  =>  dE/dW += delta_v^T k[t].
+        w_grad += delta_v.T @ k[:, t, :]
+
+        # Synapse-filter adjoint: dE/dk[t] = W^T delta_v + alpha*dE/dk[t+1].
+        a_k_t = delta_v @ weight
+        if exact:
+            a_k_t = a_k_t + alpha * a_k
+        # k[t] = alpha*k[t-1] + x[t]  =>  dE/dx[t] = dE/dk[t].
+        grad_inputs[:, t, :] = a_k_t
+        a_k = a_k_t
+
+        if exact:
+            # Reset-filter adjoint: dE/dh[t] = -theta*delta_v + beta*dE/dh[t+1].
+            a_h = -theta * delta_v + beta * a_h
+        delta_v_next = delta_v
+
+    return w_grad, grad_inputs
+
+
+def _backward_hard_reset(layer, layer_record, layer_inputs: np.ndarray,
+                         grad_spikes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Adjoint recursion for one hard-reset layer (reset gate detached).
+
+    Forward equations::
+
+        v_pre[t] = alpha*v_post[t-1] + x[t] @ W.T
+        O[t]     = U(v_pre[t] - v_th)
+        v_post[t] = v_pre[t] * (1 - O[t])     # hard reset
+
+    The reset gate ``(1 - O[t])`` is treated as a constant during
+    backpropagation (standard practice for hard-reset SNNs — the gate's own
+    derivative is another Dirac delta).
+    """
+    weight = layer.weight
+    params = layer.params
+    alpha = layer.neuron.alpha
+    input_gain = getattr(layer.neuron, "input_gain", 1.0)
+
+    v_pre = layer_record.v            # (B, T, n_out)
+    spikes = layer_record.spikes
+    batch, steps, n_out = v_pre.shape
+    n_in = layer_inputs.shape[2]
+
+    eps = layer.surrogate.derivative(v_pre - params.v_th)
+
+    w_grad = np.zeros_like(weight)
+    grad_inputs = np.zeros((batch, steps, n_in), dtype=np.float64)
+    delta_v = np.zeros((batch, n_out), dtype=np.float64)  # dE/dv_pre[t+1]
+
+    for t in range(steps - 1, -1, -1):
+        carry = alpha * (1.0 - spikes[:, t, :]) * delta_v
+        delta_v = grad_spikes[:, t, :] * eps[:, t, :] + carry
+        w_grad += input_gain * (delta_v.T @ layer_inputs[:, t, :])
+        grad_inputs[:, t, :] = input_gain * (delta_v @ weight)
+
+    return w_grad, grad_inputs

@@ -1,0 +1,193 @@
+"""First-order exponential filters — the paper's eq. (5) building blocks.
+
+The paper's central modelling move (Section II) is to express a spiking
+neuron as a bank of first-order low-pass filters: a *synapse* filter
+``k(t)`` shapes input spikes into post-synaptic potentials, and a *reset*
+filter ``h(t)`` shapes output spikes into an adaptive threshold.  In
+discrete time (eq. 5):
+
+.. math::
+
+    k[t] = e^{-1/\\tau}   k[t-1] + x[t]        \\qquad (5a)
+
+    h[t] = e^{-1/\\tau_r} h[t-1] + O[t-1]      \\qquad (5b)
+
+This module implements that primitive (:class:`ExponentialFilter`), its
+adjoint (needed by exact BPTT), and the double-exponential kernel
+``f[t] = e^{-t/\\tau_m} - e^{-t/\\tau_s}`` used by the van Rossum loss
+(eq. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError, StateError
+
+__all__ = [
+    "decay_from_tau",
+    "tau_from_decay",
+    "ExponentialFilter",
+    "exponential_filter",
+    "exponential_filter_adjoint",
+    "DoubleExponentialKernel",
+]
+
+
+def decay_from_tau(tau: float) -> float:
+    """Per-step decay factor ``alpha = exp(-1/tau)`` for time constant ``tau``.
+
+    ``tau`` is expressed in simulation steps (the paper uses tau = 4 steps,
+    i.e. alpha ~= 0.7788).
+    """
+    if tau <= 0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    return float(np.exp(-1.0 / tau))
+
+
+def tau_from_decay(alpha: float) -> float:
+    """Inverse of :func:`decay_from_tau`."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"decay must be in (0, 1), got {alpha}")
+    return float(-1.0 / np.log(alpha))
+
+
+class ExponentialFilter:
+    """Stateful first-order low-pass filter ``y[t] = alpha*y[t-1] + x[t]``.
+
+    This is the digital counterpart of the RC filter in the paper's circuit
+    (Section II: ``tau = RC / dt``); the same class implements both the
+    synapse kernel ``k`` and the reset kernel ``h``.
+
+    The filter is *never reset by spikes* — that is the point of the paper's
+    model — but :meth:`reset_state` reinitialises it between input samples.
+
+    Parameters
+    ----------
+    tau:
+        Time constant in steps.
+    shape:
+        State shape, typically ``(batch, channels)``.  May be deferred to
+        the first :meth:`reset_state` call.
+    """
+
+    def __init__(self, tau: float, shape: tuple | None = None):
+        self.tau = float(tau)
+        self.alpha = decay_from_tau(tau)
+        self.state: np.ndarray | None = None
+        if shape is not None:
+            self.reset_state(shape)
+
+    def reset_state(self, shape: tuple, dtype=np.float64) -> None:
+        """Zero the filter state with the given shape."""
+        self.state = np.zeros(shape, dtype=dtype)
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        """Advance one step; returns the new state (a copy-free view is kept)."""
+        if self.state is None:
+            raise StateError("ExponentialFilter.step called before reset_state")
+        if self.state.shape != np.shape(x):
+            raise ShapeError(
+                f"filter state {self.state.shape} vs input {np.shape(x)}"
+            )
+        self.state = self.alpha * self.state + x
+        return self.state
+
+    def run(self, xs: np.ndarray, time_axis: int = 0) -> np.ndarray:
+        """Filter a whole sequence; ``xs`` has time along ``time_axis``.
+
+        Does not use or modify the persistent state (starts from zero);
+        convenient for whole-trace computations such as loss kernels.
+        """
+        return exponential_filter(xs, self.alpha, time_axis=time_axis)
+
+    def impulse_response(self, length: int) -> np.ndarray:
+        """First ``length`` samples of the impulse response ``alpha**t``."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self.alpha ** np.arange(length, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"ExponentialFilter(tau={self.tau}, alpha={self.alpha:.6f})"
+
+
+def exponential_filter(xs: np.ndarray, alpha: float, time_axis: int = 0,
+                       initial: np.ndarray | None = None) -> np.ndarray:
+    """Causal scan ``y[t] = alpha*y[t-1] + x[t]`` along ``time_axis``.
+
+    Parameters
+    ----------
+    xs:
+        Input array with time along ``time_axis``.
+    alpha:
+        Per-step decay in [0, 1).
+    initial:
+        Optional ``y[-1]`` state (shape of one time slice).
+    """
+    data = np.moveaxis(np.asarray(xs, dtype=np.float64), time_axis, 0)
+    out = np.empty_like(data)
+    carry = np.zeros(data.shape[1:], dtype=np.float64) if initial is None \
+        else np.asarray(initial, dtype=np.float64)
+    for t in range(data.shape[0]):
+        carry = alpha * carry + data[t]
+        out[t] = carry
+    return np.moveaxis(out, 0, time_axis)
+
+
+def exponential_filter_adjoint(grad_ys: np.ndarray, alpha: float,
+                               time_axis: int = 0) -> np.ndarray:
+    """Adjoint (reverse-time) scan of :func:`exponential_filter`.
+
+    If ``y = exponential_filter(x)`` and ``g[t] = dE/dy[t]``, the returned
+    array is ``dE/dx[t] = sum_{s>=t} alpha**(s-t) * g[s]``, computed by the
+    anti-causal recursion ``a[t] = alpha*a[t+1] + g[t]``.
+    """
+    data = np.moveaxis(np.asarray(grad_ys, dtype=np.float64), time_axis, 0)
+    out = np.empty_like(data)
+    carry = np.zeros(data.shape[1:], dtype=np.float64)
+    for t in range(data.shape[0] - 1, -1, -1):
+        carry = alpha * carry + data[t]
+        out[t] = carry
+    return np.moveaxis(out, 0, time_axis)
+
+
+class DoubleExponentialKernel:
+    """The loss kernel ``f[t] = e^{-t/tau_m} - e^{-t/tau_s}`` of eq. (15).
+
+    With ``tau_m > tau_s`` this is a causal alpha-like kernel rising from 0
+    to a peak and decaying back — the paper uses ``tau_m = 4``,
+    ``tau_s = 1`` (Table I).  The convolution ``f * S`` of a spike train is
+    computed as the difference of two exponential scans, which is exact and
+    O(T).
+    """
+
+    def __init__(self, tau_m: float = 4.0, tau_s: float = 1.0):
+        if tau_m <= tau_s:
+            raise ValueError(
+                f"tau_m must exceed tau_s for a biphasic kernel, "
+                f"got tau_m={tau_m}, tau_s={tau_s}"
+            )
+        self.tau_m = float(tau_m)
+        self.tau_s = float(tau_s)
+        self.alpha_m = decay_from_tau(tau_m)
+        self.alpha_s = decay_from_tau(tau_s)
+
+    def kernel(self, length: int) -> np.ndarray:
+        """First ``length`` samples of ``f[t]`` (``f[0] == 0``)."""
+        t = np.arange(length, dtype=np.float64)
+        return np.exp(-t / self.tau_m) - np.exp(-t / self.tau_s)
+
+    def convolve(self, spikes: np.ndarray, time_axis: int = 0) -> np.ndarray:
+        """Causal convolution ``(f * S)[t]`` along ``time_axis`` (exact, O(T))."""
+        fast = exponential_filter(spikes, self.alpha_s, time_axis=time_axis)
+        slow = exponential_filter(spikes, self.alpha_m, time_axis=time_axis)
+        return slow - fast
+
+    def adjoint_convolve(self, grad: np.ndarray, time_axis: int = 0) -> np.ndarray:
+        """Adjoint of :meth:`convolve` (correlation with ``f``, reverse time)."""
+        fast = exponential_filter_adjoint(grad, self.alpha_s, time_axis=time_axis)
+        slow = exponential_filter_adjoint(grad, self.alpha_m, time_axis=time_axis)
+        return slow - fast
+
+    def __repr__(self) -> str:
+        return f"DoubleExponentialKernel(tau_m={self.tau_m}, tau_s={self.tau_s})"

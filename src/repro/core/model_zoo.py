@@ -1,0 +1,84 @@
+"""Builders for the network architectures used in the paper's evaluation.
+
+Section V uses three fully-connected topologies:
+
+* N-MNIST classification: ``(34*34*2) - 500 - 500 - 10``
+* SHD classification: ``700 - 400 - 400 - 20``
+* Pattern association: ``700 - 500 - 500 - 300``
+
+Paper-scale hidden layers are expensive on an offline CPU, so each builder
+takes a ``profile`` argument: ``"paper"`` reproduces the published sizes,
+``"reduced"`` (default) shrinks hidden layers for the CI-scale benches.
+The reduction preserves depth and all dynamics — only width changes.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import RandomState
+from .network import SpikingNetwork
+from .neurons import NeuronParameters
+from .surrogate import ErfcSurrogate
+
+__all__ = [
+    "NMNIST_INPUT",
+    "SHD_INPUT",
+    "ASSOCIATION_OUTPUT",
+    "nmnist_mlp",
+    "shd_mlp",
+    "association_net",
+]
+
+NMNIST_INPUT = 34 * 34 * 2       # two DVS polarity channels on a 34x34 grid
+SHD_INPUT = 700                  # cochlea channels
+ASSOCIATION_OUTPUT = 300         # target spike trains (glyph rows)
+
+_PROFILES = {"paper", "reduced"}
+
+
+def _check_profile(profile: str) -> None:
+    if profile not in _PROFILES:
+        raise ValueError(f"profile must be one of {sorted(_PROFILES)}, "
+                         f"got {profile!r}")
+
+
+def _build(sizes, params, rng) -> SpikingNetwork:
+    return SpikingNetwork(
+        sizes, params=params or NeuronParameters(),
+        neuron_kind="adaptive", surrogate=ErfcSurrogate(), rng=rng,
+    )
+
+
+def nmnist_mlp(profile: str = "reduced",
+               params: NeuronParameters | None = None,
+               rng: RandomState | int | None = None) -> SpikingNetwork:
+    """The paper's N-MNIST classifier ``2312-500-500-10`` (Section V-A).
+
+    ``reduced`` profile: ``2312-128-128-10``.
+    """
+    _check_profile(profile)
+    hidden = (500, 500) if profile == "paper" else (128, 128)
+    return _build((NMNIST_INPUT, *hidden, 10), params, rng)
+
+
+def shd_mlp(profile: str = "reduced",
+            params: NeuronParameters | None = None,
+            rng: RandomState | int | None = None) -> SpikingNetwork:
+    """The paper's SHD classifier ``700-400-400-20`` (Section V-A).
+
+    ``reduced`` profile: ``700-128-128-20``.
+    """
+    _check_profile(profile)
+    hidden = (400, 400) if profile == "paper" else (128, 128)
+    return _build((SHD_INPUT, *hidden, 20), params, rng)
+
+
+def association_net(profile: str = "reduced",
+                    params: NeuronParameters | None = None,
+                    rng: RandomState | int | None = None) -> SpikingNetwork:
+    """The pattern-association network ``700-500-500-300`` (Section V-B).
+
+    ``reduced`` profile: ``700-128-128-300``.
+    """
+    _check_profile(profile)
+    hidden = (500, 500) if profile == "paper" else (128, 128)
+    return _build((SHD_INPUT, *hidden, ASSOCIATION_OUTPUT), params, rng)

@@ -1,0 +1,224 @@
+"""The feedforward spiking network (paper Fig. 2/3).
+
+A :class:`SpikingNetwork` is a stack of :class:`~repro.core.layers.SpikingLinear`
+layers run *time-step major*: at each step ``t`` the input spikes propagate
+through every layer (eq. 9 couples layer ``l``'s synapse filter to layer
+``l-1``'s output *at the same step*), then ``t`` advances.  This matches
+the unfolding in the paper's Fig. 2 and is what the BPTT implementation in
+:mod:`repro.core.backprop` differentiates.
+
+A recorded run (:class:`RunRecord`) captures, per layer, the synapse-filter
+traces ``k``, membrane values ``v`` and output spikes — everything backward
+passes and the analysis/plotting code need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+from ..common.rng import RandomState, as_random_state
+from .layers import LayerStepRecord, SpikingLinear
+from .neurons import NeuronParameters
+from .surrogate import SurrogateGradient
+
+__all__ = ["SpikingNetwork", "RunRecord"]
+
+
+class RunRecord:
+    """Everything captured from one recorded forward run.
+
+    Attributes
+    ----------
+    inputs:
+        The network input spikes, shape (batch, T, n_input).
+    layers:
+        One :class:`~repro.core.layers.LayerStepRecord` per layer.
+    """
+
+    def __init__(self, inputs: np.ndarray, layers: list[LayerStepRecord]):
+        self.inputs = inputs
+        self.layers = layers
+
+    @property
+    def outputs(self) -> np.ndarray:
+        """Output spikes of the last layer, shape (batch, T, n_out)."""
+        return self.layers[-1].spikes
+
+    def layer_input(self, index: int) -> np.ndarray:
+        """Spikes entering layer ``index`` (network input for index 0)."""
+        if index == 0:
+            return self.inputs
+        return self.layers[index - 1].spikes
+
+
+class SpikingNetwork:
+    """A feedforward stack of spiking layers.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including the input, e.g. ``(700, 400, 400, 20)``.
+    params:
+        Neuron hyper-parameters shared by all layers (Table I defaults).
+    neuron_kind:
+        ``"adaptive"`` or ``"hard_reset"`` for every layer.
+    surrogate:
+        Surrogate gradient attached to every layer.
+    rng:
+        Seed / RandomState; each layer's init gets an independent child
+        stream.
+    """
+
+    def __init__(self, sizes: tuple[int, ...] | list[int],
+                 params: NeuronParameters | None = None,
+                 neuron_kind: str = "adaptive",
+                 surrogate: SurrogateGradient | None = None,
+                 rng: RandomState | int | None = None):
+        sizes = tuple(int(s) for s in sizes)
+        if len(sizes) < 2:
+            raise ValueError("a network needs at least an input and one layer")
+        root = as_random_state(rng)
+        self.sizes = sizes
+        self.params = params or NeuronParameters()
+        self.neuron_kind = neuron_kind
+        self.layers = [
+            SpikingLinear(
+                sizes[i], sizes[i + 1], params=self.params,
+                neuron_kind=neuron_kind, surrogate=surrogate,
+                rng=root.child(f"layer{i}"), name=f"layer{i}",
+            )
+            for i in range(len(sizes) - 1)
+        ]
+
+    # -- forward -------------------------------------------------------------
+    def reset_state(self, batch_size: int, dtype=np.float64) -> None:
+        for layer in self.layers:
+            layer.reset_state(batch_size, dtype=dtype)
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        """Propagate one time step through all layers; returns output spikes."""
+        spikes = x
+        for layer in self.layers:
+            spikes, _ = layer.step(spikes)
+        return spikes
+
+    def run(self, inputs: np.ndarray, record: bool = False,
+            dtype=np.float64) -> tuple[np.ndarray, RunRecord | None]:
+        """Run a batch of spike sequences through the network.
+
+        Parameters
+        ----------
+        inputs:
+            Spike array of shape (batch, T, n_input); values may exceed 1
+            (event counts) — the filters are linear.
+        record:
+            Capture per-layer traces for BPTT / analysis.
+
+        Returns
+        -------
+        (outputs, record):
+            ``outputs`` has shape (batch, T, n_output); ``record`` is a
+            :class:`RunRecord` or ``None``.
+        """
+        inputs = np.asarray(inputs, dtype=dtype)
+        if inputs.ndim != 3:
+            raise ShapeError(f"expected (batch, T, n_in), got {inputs.shape}")
+        if inputs.shape[2] != self.sizes[0]:
+            raise ShapeError(
+                f"expected {self.sizes[0]} input channels, got {inputs.shape[2]}"
+            )
+        batch, steps, _ = inputs.shape
+        self.reset_state(batch, dtype=dtype)
+
+        spike_buffers = [
+            np.zeros((batch, steps, layer.n_out), dtype=dtype)
+            for layer in self.layers
+        ]
+        v_buffers = None
+        k_buffers = None
+        if record:
+            v_buffers = [np.zeros((batch, steps, layer.n_out), dtype=dtype)
+                         for layer in self.layers]
+            k_buffers = [
+                np.zeros((batch, steps, layer.n_in), dtype=dtype)
+                if layer.neuron_kind == "adaptive" else None
+                for layer in self.layers
+            ]
+
+        for t in range(steps):
+            spikes = inputs[:, t, :]
+            for index, layer in enumerate(self.layers):
+                spikes, v = layer.step(spikes)
+                spike_buffers[index][:, t, :] = spikes
+                if record:
+                    v_buffers[index][:, t, :] = v
+                    if k_buffers[index] is not None:
+                        k_buffers[index][:, t, :] = layer.k
+
+        outputs = spike_buffers[-1]
+        run_record = None
+        if record:
+            layer_records = [
+                LayerStepRecord(k=k_buffers[i], v=v_buffers[i],
+                                spikes=spike_buffers[i])
+                for i in range(len(self.layers))
+            ]
+            run_record = RunRecord(inputs=inputs, layers=layer_records)
+        return outputs, run_record
+
+    # -- parameters ------------------------------------------------------------
+    @property
+    def weights(self) -> list[np.ndarray]:
+        """The per-layer weight matrices (live references, not copies)."""
+        return [layer.weight for layer in self.layers]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Replace all weights (shapes must match)."""
+        if len(weights) != len(self.layers):
+            raise ShapeError(
+                f"expected {len(self.layers)} weight arrays, got {len(weights)}"
+            )
+        for layer, w in zip(self.layers, weights):
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != layer.weight.shape:
+                raise ShapeError(
+                    f"{layer.name}: weight shape {w.shape} != {layer.weight.shape}"
+                )
+            layer.weight = w.copy()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Named parameter arrays for serialization."""
+        return {f"layers.{i}.weight": layer.weight.copy()
+                for i, layer in enumerate(self.layers)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict`."""
+        weights = []
+        for i in range(len(self.layers)):
+            key = f"layers.{i}.weight"
+            if key not in state:
+                raise ShapeError(f"missing parameter {key!r}")
+            weights.append(state[key])
+        self.set_weights(weights)
+
+    def with_neuron_kind(self, neuron_kind: str) -> "SpikingNetwork":
+        """A new network with identical (shared) weights but other dynamics.
+
+        Implements the paper's Table II 'HR' swap: evaluate the trained
+        weights under hard-reset neurons.
+        """
+        clone = SpikingNetwork(
+            self.sizes, params=self.params, neuron_kind=neuron_kind, rng=0,
+        )
+        for ours, theirs in zip(self.layers, clone.layers):
+            theirs.weight = ours.weight  # intentional sharing
+        return clone
+
+    def count_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(w.size for w in self.weights))
+
+    def __repr__(self) -> str:
+        arch = "-".join(str(s) for s in self.sizes)
+        return f"SpikingNetwork({arch}, kind={self.neuron_kind!r})"

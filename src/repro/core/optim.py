@@ -1,0 +1,147 @@
+"""Gradient-descent optimizers (the paper trains with AdamW, Table I).
+
+Optimizers hold references to live parameter arrays (e.g.
+``network.weights``) and update them *in place*, so the owning layers see
+every step without re-wiring.
+
+Provided: :class:`SGD` (with momentum), :class:`Adam`, :class:`AdamW`
+(decoupled weight decay, the paper's choice), and
+:func:`clip_grad_norm` for global-norm clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "make_optimizer"]
+
+
+class Optimizer:
+    """Base class: holds parameters, validates gradients, counts steps."""
+
+    def __init__(self, params: list[np.ndarray], lr: float):
+        if not params:
+            raise ValueError("optimizer needs at least one parameter array")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def _check(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ShapeError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        for i, (p, g) in enumerate(zip(self.params, grads)):
+            if p.shape != g.shape:
+                raise ShapeError(
+                    f"parameter {i}: grad shape {g.shape} != param {p.shape}"
+                )
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.velocity = [np.zeros_like(p) for p in self.params]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self._check(grads)
+        self.step_count += 1
+        for p, g, v in zip(self.params, grads, self.velocity):
+            v *= self.momentum
+            v += g
+            p -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.m = [np.zeros_like(p) for p in self.params]
+        self.v = [np.zeros_like(p) for p in self.params]
+
+    def _update(self, p, g, m, v) -> np.ndarray:
+        """Compute the Adam step direction (shared with AdamW)."""
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g * g
+        m_hat = m / (1.0 - self.beta1 ** self.step_count)
+        v_hat = v / (1.0 - self.beta2 ** self.step_count)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self._check(grads)
+        self.step_count += 1
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            p -= self.lr * self._update(p, g, m, v)
+
+
+class AdamW(Adam):
+    """Adam with *decoupled* weight decay (Loshchilov & Hutter).
+
+    The paper's optimizer (Table I).  Decay is applied directly to the
+    parameters, not mixed into the gradient moments.
+    """
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        super().__init__(params, lr, betas=betas, eps=eps)
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.weight_decay = float(weight_decay)
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        self._check(grads)
+        self.step_count += 1
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            p -= self.lr * self.weight_decay * p
+            p -= self.lr * self._update(p, g, m, v)
+
+
+def clip_grad_norm(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging exploding gradients).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+def make_optimizer(name: str, params: list[np.ndarray], lr: float,
+                   **kwargs) -> Optimizer:
+    """Factory by name: ``sgd`` / ``adam`` / ``adamw``."""
+    registry = {"sgd": SGD, "adam": Adam, "adamw": AdamW}
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(params, lr=lr, **kwargs)

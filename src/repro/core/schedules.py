@@ -1,0 +1,119 @@
+"""Learning-rate schedules.
+
+The paper trains with a fixed AdamW learning rate (Table I); schedules
+are provided as a standard extension for the `full`-profile runs, where
+long training benefits from warmup + decay.  A schedule maps the 1-based
+epoch index to a learning-rate *multiplier*; :class:`ScheduledTrainer`
+applies it on top of any optimizer's base rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trainer import Trainer
+
+__all__ = [
+    "ConstantSchedule",
+    "StepSchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+    "ScheduledTrainer",
+]
+
+
+class ConstantSchedule:
+    """Multiplier 1 forever (the paper's setting)."""
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-based, got {epoch}")
+        return 1.0
+
+
+class StepSchedule:
+    """Multiply by ``gamma`` every ``step_size`` epochs.
+
+    Parameters
+    ----------
+    step_size:
+        Epochs between decays.
+    gamma:
+        Decay factor per step, in (0, 1].
+    """
+
+    def __init__(self, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-based, got {epoch}")
+        return self.gamma ** ((epoch - 1) // self.step_size)
+
+
+class CosineSchedule:
+    """Cosine annealing from 1 down to ``floor`` over ``total_epochs``."""
+
+    def __init__(self, total_epochs: int, floor: float = 0.0):
+        if total_epochs <= 0:
+            raise ValueError(
+                f"total_epochs must be positive, got {total_epochs}")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        self.total_epochs = int(total_epochs)
+        self.floor = float(floor)
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-based, got {epoch}")
+        progress = min((epoch - 1) / max(self.total_epochs - 1, 1), 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.floor + (1.0 - self.floor) * cosine
+
+
+class WarmupSchedule:
+    """Linear ramp over ``warmup_epochs``, then delegate to ``after``."""
+
+    def __init__(self, warmup_epochs: int, after=None):
+        if warmup_epochs < 0:
+            raise ValueError(
+                f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        self.warmup_epochs = int(warmup_epochs)
+        self.after = after or ConstantSchedule()
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-based, got {epoch}")
+        if epoch <= self.warmup_epochs:
+            return epoch / (self.warmup_epochs + 1)
+        return self.after(epoch - self.warmup_epochs)
+
+
+class ScheduledTrainer(Trainer):
+    """A :class:`~repro.core.trainer.Trainer` with a learning-rate schedule.
+
+    The schedule multiplies the configured base learning rate at the start
+    of every epoch (1-based); everything else is inherited.
+    """
+
+    def __init__(self, network, loss, config, schedule=None, rng=None):
+        super().__init__(network, loss, config, rng=rng)
+        self.schedule = schedule or ConstantSchedule()
+        self._base_lr = self.optimizer.lr
+        self._epoch_counter = 0
+
+    def train_epoch(self, inputs, targets) -> float:
+        self._epoch_counter += 1
+        self.optimizer.lr = self._base_lr * float(
+            self.schedule(self._epoch_counter))
+        return super().train_epoch(inputs, targets)
+
+    @property
+    def current_lr(self) -> float:
+        """The learning rate used by the most recent epoch."""
+        return self.optimizer.lr

@@ -1,0 +1,195 @@
+"""Mini-batch training loop tying the forward run, BPTT and optimizer together.
+
+The :class:`Trainer` reproduces the paper's training setup (Table I):
+AdamW, batch size 64, learning rate 1e-4 (classification) or 1e-3 (pattern
+association).  It operates on in-memory arrays — every dataset in
+:mod:`repro.data` materialises to ``(inputs, targets)`` pairs — and records
+a per-epoch history of loss and task metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.errors import ShapeError
+from ..common.rng import RandomState, as_random_state
+from .backprop import backward
+from .network import SpikingNetwork
+from .optim import clip_grad_norm, make_optimizer
+
+__all__ = ["TrainerConfig", "Trainer", "EpochStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainerConfig(BaseConfig):
+    """Training hyper-parameters (paper Table I defaults).
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training set.
+    batch_size:
+        Mini-batch size (paper: 64).
+    learning_rate:
+        Step size (paper: 1e-4 classification, 1e-3 association).
+    optimizer:
+        ``"adamw"`` (paper), ``"adam"`` or ``"sgd"``.
+    weight_decay:
+        Decoupled decay for AdamW.
+    grad_clip:
+        Global-norm gradient clip; 0 disables.
+    gradient_mode:
+        ``"exact"`` or ``"truncated"`` BPTT (see :mod:`repro.core.backprop`).
+    shuffle:
+        Reshuffle the training set every epoch.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    learning_rate: float = 1e-4
+    optimizer: str = "adamw"
+    weight_decay: float = 0.0
+    grad_clip: float = 0.0
+    gradient_mode: str = "exact"
+    shuffle: bool = True
+
+    def validate(self) -> None:
+        self.require_positive("epochs")
+        self.require_positive("batch_size")
+        self.require_positive("learning_rate")
+        self.require_non_negative("weight_decay")
+        self.require_non_negative("grad_clip")
+        self.require(self.gradient_mode in ("exact", "truncated"),
+                     f"gradient_mode must be exact|truncated, "
+                     f"got {self.gradient_mode!r}")
+        self.require(self.optimizer in ("sgd", "adam", "adamw"),
+                     f"optimizer must be sgd|adam|adamw, got {self.optimizer!r}")
+
+
+@dataclasses.dataclass
+class EpochStats:
+    """Metrics for one epoch (train loss plus loss-specific metrics)."""
+
+    epoch: int
+    train_loss: float
+    train_metrics: dict
+    test_metrics: dict
+    seconds: float
+
+    def summary(self) -> str:
+        parts = [f"epoch {self.epoch:3d}", f"loss {self.train_loss:.4f}"]
+        parts += [f"train_{k} {v:.4f}" for k, v in self.train_metrics.items()]
+        parts += [f"test_{k} {v:.4f}" for k, v in self.test_metrics.items()]
+        parts.append(f"[{self.seconds:.1f}s]")
+        return "  ".join(parts)
+
+
+class Trainer:
+    """Trains a :class:`~repro.core.network.SpikingNetwork` with BPTT.
+
+    Parameters
+    ----------
+    network:
+        The model to train (its weight arrays are updated in place).
+    loss:
+        A loss object exposing ``value_and_grad`` and ``metrics``
+        (:class:`~repro.core.loss.CrossEntropyRateLoss` or
+        :class:`~repro.core.loss.VanRossumLoss`).
+    config:
+        :class:`TrainerConfig`.
+    rng:
+        Seed / RandomState used only for epoch shuffling.
+    """
+
+    def __init__(self, network: SpikingNetwork, loss, config: TrainerConfig,
+                 rng: RandomState | int | None = None):
+        self.network = network
+        self.loss = loss
+        self.config = config
+        self.rng = as_random_state(rng)
+        extra = {}
+        if config.optimizer == "adamw":
+            extra["weight_decay"] = config.weight_decay
+        self.optimizer = make_optimizer(
+            config.optimizer, network.weights, lr=config.learning_rate, **extra
+        )
+        self.history: list[EpochStats] = []
+
+    # -- single steps ------------------------------------------------------
+    def train_batch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One forward/backward/update on a batch; returns the batch loss."""
+        outputs, record = self.network.run(inputs, record=True)
+        loss_value, grad_outputs = self.loss.value_and_grad(outputs, targets)
+        result = backward(self.network, record, grad_outputs,
+                          mode=self.config.gradient_mode)
+        grads = result.weight_grads
+        if self.config.grad_clip > 0:
+            clip_grad_norm(grads, self.config.grad_clip)
+        self.optimizer.step(grads)
+        return loss_value
+
+    def train_epoch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One pass over the data; returns the mean batch loss."""
+        n = inputs.shape[0]
+        if targets.shape[0] != n:
+            raise ShapeError(
+                f"{n} inputs but {targets.shape[0]} targets"
+            )
+        order = np.arange(n)
+        if self.config.shuffle:
+            self.rng.shuffle(order)
+        losses = []
+        bs = self.config.batch_size
+        for start in range(0, n, bs):
+            index = order[start:start + bs]
+            losses.append(self.train_batch(inputs[index], targets[index]))
+        return float(np.mean(losses))
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray,
+                 network: SpikingNetwork | None = None) -> dict:
+        """Loss metrics on held-out data (no gradient, batched).
+
+        ``network`` overrides the trained model — used for the paper's
+        hard-reset swap evaluation.
+        """
+        model = network if network is not None else self.network
+        outputs = run_in_batches(model, inputs, self.config.batch_size)
+        return self.loss.metrics(outputs, targets)
+
+    # -- full loop ----------------------------------------------------------
+    def fit(self, train_inputs: np.ndarray, train_targets: np.ndarray,
+            test_inputs: np.ndarray | None = None,
+            test_targets: np.ndarray | None = None,
+            verbose: bool = False) -> list[EpochStats]:
+        """Run the configured number of epochs; returns per-epoch stats."""
+        for epoch in range(1, self.config.epochs + 1):
+            start = time.perf_counter()
+            train_loss = self.train_epoch(train_inputs, train_targets)
+            train_metrics = self.evaluate(train_inputs, train_targets)
+            test_metrics = {}
+            if test_inputs is not None and test_targets is not None:
+                test_metrics = self.evaluate(test_inputs, test_targets)
+            stats = EpochStats(
+                epoch=epoch, train_loss=train_loss,
+                train_metrics=train_metrics, test_metrics=test_metrics,
+                seconds=time.perf_counter() - start,
+            )
+            self.history.append(stats)
+            if verbose:
+                print(stats.summary())
+        return self.history
+
+
+def run_in_batches(network: SpikingNetwork, inputs: np.ndarray,
+                   batch_size: int, dtype=np.float64) -> np.ndarray:
+    """Forward-only run over a large array, batched to bound memory."""
+    chunks = []
+    for start in range(0, inputs.shape[0], batch_size):
+        outputs, _ = network.run(inputs[start:start + batch_size], dtype=dtype)
+        chunks.append(outputs)
+    return np.concatenate(chunks, axis=0)

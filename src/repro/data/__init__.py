@@ -1,0 +1,39 @@
+"""Dataset substrates: synthetic N-MNIST, synthetic SHD, pattern
+association, and generic spike encoders."""
+
+from .association import AssociationConfig, generate_association, glyph_to_target
+from .cochlea import Cochlea, CochleaConfig, mel_frequencies
+from .datasets import SpikeDataset
+from .dvs import DVSCamera, record_moving_image, saccade_trajectory
+from .encoders import delta_encode, latency_encode, poisson_encode
+from .glyphs import DIGIT_STROKES, render_digit, render_digit_batch
+from .nmnist import SyntheticNMNISTConfig, generate_nmnist
+from .shd import SHD_CLASS_NAMES, SyntheticSHDConfig, generate_shd
+from .speech import LANGUAGES, WORDS, synthesize_digit
+
+__all__ = [
+    "AssociationConfig",
+    "generate_association",
+    "glyph_to_target",
+    "Cochlea",
+    "CochleaConfig",
+    "mel_frequencies",
+    "SpikeDataset",
+    "DVSCamera",
+    "record_moving_image",
+    "saccade_trajectory",
+    "delta_encode",
+    "latency_encode",
+    "poisson_encode",
+    "DIGIT_STROKES",
+    "render_digit",
+    "render_digit_batch",
+    "SyntheticNMNISTConfig",
+    "generate_nmnist",
+    "SHD_CLASS_NAMES",
+    "SyntheticSHDConfig",
+    "generate_shd",
+    "LANGUAGES",
+    "WORDS",
+    "synthesize_digit",
+]

@@ -1,0 +1,149 @@
+"""The spatial-temporal pattern association task (paper Section V-B).
+
+The network must *produce* a specific spatio-temporal output pattern in
+response to a specific input pattern: given the audio of a spoken digit
+(an SHD sample, 700 trains), emit the image of the corresponding
+handwritten digit as a spike raster.
+
+The paper's target conversion rule: a digit image's pixel ``(x, y)``
+becomes a spike in the ``y``-th output train at time ``x`` — i.e. the
+image's columns are scanned out over time.  The paper uses 700 input
+trains of length 300 and 300 output trains of the same length; the
+``reduced`` default shrinks both for CI-scale runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.rng import RandomState, as_random_state
+from .datasets import SpikeDataset
+from .glyphs import render_digit
+from .shd import SyntheticSHDConfig, generate_shd
+
+__all__ = ["AssociationConfig", "generate_association", "glyph_to_target"]
+
+
+def glyph_to_target(image: np.ndarray, steps: int, trains: int,
+                    threshold: float = 0.35) -> np.ndarray:
+    """Convert a grayscale digit image to the paper's target raster.
+
+    Pixel ``(x, y)`` with intensity above ``threshold`` becomes a spike in
+    train ``y`` at time ``x``.  The image is placed centred on the
+    (steps, trains) canvas; row 0 of the image (the glyph top) maps to the
+    *last* train so the raster plot visually matches the digit.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D, got {image.shape}")
+    height, width = image.shape
+    if height > trains or width > steps:
+        raise ValueError(
+            f"image {image.shape} does not fit raster ({steps}, {trains})"
+        )
+    target = np.zeros((steps, trains), dtype=np.float32)
+    x0 = (steps - width) // 2
+    y0 = (trains - height) // 2
+    mask = image > threshold
+    ys, xs = np.nonzero(mask)
+    # Flip rows: image row 0 (top) -> highest train index.
+    target[x0 + xs, y0 + (height - 1 - ys)] = 1.0
+    return target
+
+
+@dataclasses.dataclass(frozen=True)
+class AssociationConfig(BaseConfig):
+    """Generation parameters for the association dataset.
+
+    Attributes
+    ----------
+    n_samples:
+        Input/target pairs (paper: 1000 SHD samples).
+    steps:
+        Sequence length for both input and target (paper: 300).
+    input_channels:
+        Input trains (paper: 700).
+    target_trains:
+        Output trains (paper: 300).
+    glyph_size:
+        Rendered digit size; must fit within (steps, target_trains).
+    """
+
+    n_samples: int = 200
+    steps: int = 100
+    input_channels: int = 700
+    target_trains: int = 96
+    glyph_size: int = 64
+
+    def validate(self) -> None:
+        self.require_positive("n_samples")
+        self.require_positive("steps")
+        self.require_positive("input_channels")
+        self.require_positive("target_trains")
+        self.require(self.glyph_size <= min(self.steps, self.target_trains),
+                     "glyph must fit within (steps, target_trains)")
+
+
+def paper_association_config() -> AssociationConfig:
+    """The full-scale configuration from Section V-B."""
+    return AssociationConfig(
+        n_samples=1000, steps=300, input_channels=700,
+        target_trains=300, glyph_size=280,
+    )
+
+
+def generate_association(config: AssociationConfig | None = None,
+                         rng: RandomState | int | None = None) -> SpikeDataset:
+    """Generate (spoken-digit input, handwritten-digit target) pairs.
+
+    The inputs are synthetic SHD samples (both languages map a digit to
+    the *same* glyph class, as in the paper's task: the audio of "three"
+    and "drei" should both draw a 3).
+
+    Returns
+    -------
+    SpikeDataset
+        ``inputs`` (n, steps, input_channels); ``targets``
+        (n, steps, target_trains) spike rasters.
+    """
+    config = config or AssociationConfig()
+    root = as_random_state(rng)
+
+    # Build the speech inputs by reusing the SHD generator at the right
+    # length, with samples spread over all 20 spoken classes.
+    n_per_class = max(1, int(np.ceil(config.n_samples / 20)))
+    shd = generate_shd(
+        SyntheticSHDConfig(
+            n_per_class=n_per_class, steps=config.steps,
+            n_channels=config.input_channels,
+        ),
+        rng=root.child("shd-inputs"),
+    )
+    order = root.child("subset").permutation(len(shd))[:config.n_samples]
+    inputs = shd.inputs[order]
+    spoken_class = shd.targets[order]
+    digits = spoken_class % 10          # language-independent digit identity
+
+    targets = np.zeros((config.n_samples, config.steps, config.target_trains),
+                       dtype=np.float32)
+    for index, digit in enumerate(digits):
+        glyph = render_digit(
+            int(digit), size=config.glyph_size,
+            rng=root.child(f"glyph{index}"), jitter=True,
+        )
+        targets[index] = glyph_to_target(
+            glyph, steps=config.steps, trains=config.target_trains,
+        )
+
+    return SpikeDataset(
+        inputs, targets, name="synthetic-association",
+        class_names=[str(d) for d in range(10)],
+        metadata={
+            "config": config.to_dict(),
+            "seed": root.seed,
+            "digit_labels": digits.tolist(),
+        },
+    )

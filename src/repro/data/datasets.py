@@ -1,0 +1,154 @@
+"""Dataset container shared by all generated spike datasets.
+
+A :class:`SpikeDataset` is a pair of aligned arrays — ``inputs`` of shape
+``(n, T, channels)`` and ``targets`` that are either integer class labels
+``(n,)`` (classification) or spike rasters ``(n, T', trains)`` (pattern
+association) — plus naming metadata.  It supports deterministic splits,
+batch iteration and npz round-tripping, and every generator in
+:mod:`repro.data` returns one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import DatasetError
+from ..common.rng import RandomState, as_random_state
+from ..common.serialization import load_arrays, save_arrays
+
+__all__ = ["SpikeDataset"]
+
+
+class SpikeDataset:
+    """Aligned ``(inputs, targets)`` arrays with metadata.
+
+    Parameters
+    ----------
+    inputs:
+        Spike tensor, shape (n, T, channels).
+    targets:
+        Integer labels (n,) or target rasters (n, T', trains).
+    name:
+        Dataset identifier, e.g. ``"synthetic-nmnist"``.
+    class_names:
+        Optional list of human-readable class names.
+    metadata:
+        JSON-safe provenance dict (generator parameters, seed, ...).
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray,
+                 name: str = "dataset", class_names: list[str] | None = None,
+                 metadata: dict | None = None):
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if inputs.ndim != 3:
+            raise DatasetError(
+                f"inputs must be (n, T, channels), got {inputs.shape}"
+            )
+        if targets.shape[0] != inputs.shape[0]:
+            raise DatasetError(
+                f"{inputs.shape[0]} inputs but {targets.shape[0]} targets"
+            )
+        if targets.ndim not in (1, 3):
+            raise DatasetError(
+                f"targets must be labels (n,) or rasters (n, T, trains), "
+                f"got {targets.shape}"
+            )
+        self.inputs = inputs
+        self.targets = targets
+        self.name = name
+        self.class_names = list(class_names) if class_names else None
+        self.metadata = dict(metadata or {})
+
+    # -- basic protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index):
+        return self.inputs[index], self.targets[index]
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.inputs.shape[1])
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.inputs.shape[2])
+
+    @property
+    def is_classification(self) -> bool:
+        return self.targets.ndim == 1
+
+    @property
+    def n_classes(self) -> int:
+        if not self.is_classification:
+            raise DatasetError(f"{self.name} is not a classification dataset")
+        return int(self.targets.max()) + 1
+
+    # -- splits & batches -----------------------------------------------------
+    def split(self, train_fraction: float = 0.8,
+              rng: RandomState | int | None = None
+              ) -> tuple["SpikeDataset", "SpikeDataset"]:
+        """Shuffled train/test split (deterministic given ``rng``)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        generator = as_random_state(rng)
+        order = generator.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        if cut == 0 or cut == len(self):
+            raise DatasetError(
+                f"split of {len(self)} samples at {train_fraction} leaves an "
+                "empty side"
+            )
+        train_idx, test_idx = order[:cut], order[cut:]
+        return self._subset(train_idx, "train"), self._subset(test_idx, "test")
+
+    def _subset(self, indices: np.ndarray, suffix: str) -> "SpikeDataset":
+        return SpikeDataset(
+            self.inputs[indices], self.targets[indices],
+            name=f"{self.name}-{suffix}", class_names=self.class_names,
+            metadata=self.metadata,
+        )
+
+    def batches(self, batch_size: int, shuffle: bool = False,
+                rng: RandomState | int | None = None
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(inputs, targets)`` mini-batches."""
+        if batch_size <= 0:
+            raise DatasetError(f"batch_size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            as_random_state(rng).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            index = order[start:start + batch_size]
+            yield self.inputs[index], self.targets[index]
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write to ``<path>.npz`` (+ JSON sidecar with metadata)."""
+        save_arrays(path, {"inputs": self.inputs, "targets": self.targets},
+                    metadata={
+                        "name": self.name,
+                        "class_names": self.class_names,
+                        **self.metadata,
+                    })
+
+    @classmethod
+    def load(cls, path: str) -> "SpikeDataset":
+        """Read a dataset written by :meth:`save`."""
+        arrays, metadata = load_arrays(path)
+        if "inputs" not in arrays or "targets" not in arrays:
+            raise DatasetError(f"{path} is not a SpikeDataset artifact")
+        name = metadata.pop("name", "dataset")
+        class_names = metadata.pop("class_names", None)
+        return cls(arrays["inputs"], arrays["targets"], name=name,
+                   class_names=class_names, metadata=metadata)
+
+    def __repr__(self) -> str:
+        kind = "classification" if self.is_classification else "association"
+        return (f"SpikeDataset({self.name!r}, n={len(self)}, "
+                f"T={self.n_steps}, channels={self.n_channels}, kind={kind})")

@@ -1,0 +1,179 @@
+"""Dynamic Vision Sensor (DVS) camera simulator and saccade motion.
+
+N-MNIST was recorded by pointing a DVS camera at displayed MNIST digits
+while the camera performed three micro-saccades; brightness changes beyond
+a threshold trigger ON/OFF events per pixel.  This module simulates that
+acquisition pipeline:
+
+* :class:`DVSCamera` — per-pixel log-brightness change detector with a
+  stored reference level (the standard DVS pixel model): an event fires
+  when ``log(I) - log(I_ref)`` exceeds ``+threshold`` (ON) or falls below
+  ``-threshold`` (OFF), after which the reference is updated.
+* :func:`saccade_trajectory` — the N-MNIST three-saccade triangular camera
+  path (right-down, left-down, up), as sub-pixel (dx, dy) displacements.
+* :func:`record_moving_image` — renders a static image through the moving
+  camera and returns the dense event tensor (T, H, W, 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..common.errors import DatasetError
+from ..common.rng import RandomState, as_random_state
+
+__all__ = ["DVSCamera", "saccade_trajectory", "record_moving_image"]
+
+_LOG_EPS = 0.02  # luminance floor; keeps log() finite on black background
+
+
+class DVSCamera:
+    """Per-pixel brightness-change event detector.
+
+    Parameters
+    ----------
+    threshold:
+        Log-intensity contrast threshold for emitting an event (typical
+        real-DVS values are 0.1-0.3).
+    noise_rate:
+        Probability per pixel per frame of a spurious background event
+        (shot noise), split evenly between polarities.
+    max_events_per_step:
+        Refractory cap: at most this many events per pixel per frame per
+        polarity (a real pixel cannot re-arm arbitrarily fast).
+    rng:
+        Randomness for the shot noise.
+    """
+
+    def __init__(self, threshold: float = 0.15, noise_rate: float = 0.0,
+                 max_events_per_step: int = 3,
+                 rng: RandomState | int | None = None):
+        if threshold <= 0:
+            raise DatasetError(f"threshold must be positive, got {threshold}")
+        if not 0.0 <= noise_rate < 1.0:
+            raise DatasetError(f"noise_rate must be in [0, 1), got {noise_rate}")
+        if max_events_per_step < 1:
+            raise DatasetError(
+                f"max_events_per_step must be >= 1, got {max_events_per_step}"
+            )
+        self.threshold = float(threshold)
+        self.noise_rate = float(noise_rate)
+        self.max_events_per_step = int(max_events_per_step)
+        self.rng = as_random_state(rng)
+        self._reference: np.ndarray | None = None
+
+    def reset(self, first_frame: np.ndarray) -> None:
+        """Latch the reference levels on the first frame (no events)."""
+        self._reference = np.log(np.asarray(first_frame, float) + _LOG_EPS)
+
+    def observe(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame; returns (H, W, 2) event counts (ON, OFF).
+
+        Multiple threshold crossings in a single frame emit multiple
+        events, as in a real sensor with a fast refractory period.
+        """
+        if self._reference is None:
+            raise DatasetError("DVSCamera.observe called before reset")
+        log_frame = np.log(np.asarray(frame, float) + _LOG_EPS)
+        delta = log_frame - self._reference
+        cap = self.max_events_per_step
+        on_counts = np.minimum(np.floor(np.maximum(delta, 0.0) / self.threshold),
+                               cap)
+        off_counts = np.minimum(np.floor(np.maximum(-delta, 0.0) / self.threshold),
+                                cap)
+        # Pixels that fired re-arm at the *current* level (the reference
+        # latches after the refractory period), so a static scene emits no
+        # further events however large the original contrast step was.
+        fired = (on_counts + off_counts) > 0
+        self._reference = np.where(fired, log_frame, self._reference)
+        events = np.stack([on_counts, off_counts], axis=-1)
+        if self.noise_rate > 0:
+            noise = self.rng.random(events.shape) < (self.noise_rate / 2.0)
+            events = events + noise
+        return events
+
+
+def saccade_trajectory(steps: int, amplitude: float = 3.0,
+                       rng: RandomState | int | None = None,
+                       jitter: float = 0.0) -> np.ndarray:
+    """The N-MNIST three-saccade camera path as (steps, 2) displacements.
+
+    The original recording moves the sensor along a triangle: right-down,
+    then left-down, then straight up, each leg taking a third of the
+    sample.  Returned displacements are in pixels relative to the start.
+
+    Parameters
+    ----------
+    steps:
+        Total number of frames (split into 3 equal legs).
+    amplitude:
+        Peak displacement in pixels.
+    jitter:
+        Gaussian noise (pixels) added per step, modelling platform shake.
+    """
+    if steps < 3:
+        raise DatasetError(f"need at least 3 steps for 3 saccades, got {steps}")
+    generator = as_random_state(rng)
+    corners = np.array([
+        [0.0, 0.0],
+        [amplitude, amplitude / 2.0],      # leg 1: right and slightly down
+        [-amplitude / 2.0, amplitude],     # leg 2: sweep left, further down
+        [0.0, 0.0],                        # leg 3: return up to origin
+    ])
+    leg_lengths = [steps // 3, steps // 3, steps - 2 * (steps // 3)]
+    path = []
+    for leg in range(3):
+        t = np.linspace(0.0, 1.0, leg_lengths[leg], endpoint=False)[:, None]
+        path.append(corners[leg] * (1 - t) + corners[leg + 1] * t)
+    trajectory = np.concatenate(path, axis=0)
+    if jitter > 0:
+        trajectory = trajectory + generator.normal(0.0, jitter, trajectory.shape)
+    return trajectory
+
+
+def record_moving_image(image: np.ndarray, steps: int,
+                        sensor_size: int = 34,
+                        camera: DVSCamera | None = None,
+                        amplitude: float = 3.0,
+                        rng: RandomState | int | None = None,
+                        jitter: float = 0.15) -> np.ndarray:
+    """Simulate a DVS recording of a static ``image`` under saccadic motion.
+
+    The image is placed at the centre of a ``sensor_size`` canvas and
+    translated (sub-pixel, bilinear) along the saccade path; the camera
+    converts frame-to-frame brightness changes into events.
+
+    Returns
+    -------
+    ndarray
+        Dense event tensor of shape (steps, sensor_size, sensor_size, 2).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise DatasetError(f"image must be 2-D, got shape {image.shape}")
+    if image.shape[0] > sensor_size or image.shape[1] > sensor_size:
+        raise DatasetError(
+            f"image {image.shape} larger than sensor {sensor_size}"
+        )
+    generator = as_random_state(rng)
+    camera = camera or DVSCamera(rng=generator.child("camera"))
+
+    canvas = np.zeros((sensor_size, sensor_size), dtype=np.float64)
+    y0 = (sensor_size - image.shape[0]) // 2
+    x0 = (sensor_size - image.shape[1]) // 2
+    canvas[y0:y0 + image.shape[0], x0:x0 + image.shape[1]] = image
+
+    trajectory = saccade_trajectory(
+        steps, amplitude=amplitude, rng=generator.child("saccade"),
+        jitter=jitter,
+    )
+    events = np.zeros((steps, sensor_size, sensor_size, 2), dtype=np.float64)
+    first = ndimage.shift(canvas, trajectory[0][::-1], order=1, mode="constant")
+    camera.reset(first)
+    for t in range(steps):
+        # trajectory columns are (dx, dy); ndimage.shift wants (rows, cols).
+        frame = ndimage.shift(canvas, trajectory[t][::-1], order=1,
+                              mode="constant")
+        events[t] = camera.observe(frame)
+    return events

@@ -1,0 +1,99 @@
+"""Generic spike encoders: rate (Poisson), latency, and delta modulation.
+
+These are utilities for building additional workloads on top of the core
+library (the examples use them); the paper's own datasets use the
+dedicated DVS and cochlea encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import DatasetError
+from ..common.rng import RandomState, as_random_state
+
+__all__ = ["poisson_encode", "latency_encode", "delta_encode"]
+
+
+def poisson_encode(intensities: np.ndarray, steps: int,
+                   max_rate: float = 0.5,
+                   rng: RandomState | int | None = None) -> np.ndarray:
+    """Rate coding: spike probability per step proportional to intensity.
+
+    Parameters
+    ----------
+    intensities:
+        Array in [0, 1] of shape (...,); output prepends a time axis.
+    steps:
+        Number of time steps.
+    max_rate:
+        Spike probability for intensity 1.0.
+
+    Returns
+    -------
+    ndarray
+        Binary array of shape (steps, \\*intensities.shape).
+    """
+    intensities = np.asarray(intensities, dtype=np.float64)
+    if intensities.min() < 0 or intensities.max() > 1:
+        raise DatasetError("intensities must lie in [0, 1]")
+    if not 0 < max_rate <= 1:
+        raise DatasetError(f"max_rate must be in (0, 1], got {max_rate}")
+    if steps <= 0:
+        raise DatasetError(f"steps must be positive, got {steps}")
+    generator = as_random_state(rng)
+    probabilities = intensities * max_rate
+    draws = generator.random((steps, *intensities.shape))
+    return (draws < probabilities[None, ...]).astype(np.float32)
+
+
+def latency_encode(intensities: np.ndarray, steps: int) -> np.ndarray:
+    """Latency coding: brighter inputs spike earlier, exactly once.
+
+    Intensity 1.0 spikes at step 0; intensity just above 0 spikes at the
+    last step; intensity 0 never spikes.  Deterministic.
+    """
+    intensities = np.asarray(intensities, dtype=np.float64)
+    if intensities.min() < 0 or intensities.max() > 1:
+        raise DatasetError("intensities must lie in [0, 1]")
+    if steps <= 0:
+        raise DatasetError(f"steps must be positive, got {steps}")
+    out = np.zeros((steps, *intensities.shape), dtype=np.float32)
+    active = intensities > 0
+    times = np.round((1.0 - intensities) * (steps - 1)).astype(int)
+    indices = np.nonzero(active)
+    out[(times[indices], *indices)] = 1.0
+    return out
+
+
+def delta_encode(signal: np.ndarray, threshold: float = 0.1) -> np.ndarray:
+    """Delta modulation: ON/OFF spikes on signal changes beyond a threshold.
+
+    Parameters
+    ----------
+    signal:
+        Array of shape (steps, channels).
+    threshold:
+        Change magnitude per emitted spike (send-on-delta reference update).
+
+    Returns
+    -------
+    ndarray
+        (steps, channels, 2) spike counts: [..., 0] = ON, [..., 1] = OFF.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 2:
+        raise DatasetError(f"signal must be (steps, channels), got {signal.shape}")
+    if threshold <= 0:
+        raise DatasetError(f"threshold must be positive, got {threshold}")
+    steps, channels = signal.shape
+    out = np.zeros((steps, channels, 2), dtype=np.float32)
+    reference = signal[0].copy()
+    for t in range(1, steps):
+        delta = signal[t] - reference
+        on = np.floor(np.maximum(delta, 0.0) / threshold)
+        off = np.floor(np.maximum(-delta, 0.0) / threshold)
+        out[t, :, 0] = on
+        out[t, :, 1] = off
+        reference += threshold * (on - off)
+    return out

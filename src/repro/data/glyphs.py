@@ -1,0 +1,200 @@
+"""Procedural handwritten-digit glyph renderer.
+
+The paper's datasets are built from MNIST digits (N-MNIST: DVS recordings
+of displayed digits; pattern association: digit images converted to spike
+rasters).  MNIST itself is not available offline, so this module renders
+digits 0-9 *procedurally* from stroke skeletons — polylines, circular arcs
+and quadratic Beziers in a unit box — with per-sample handwriting
+variability: random affine jitter (translation, scale, rotation, slant),
+stroke-thickness variation and endpoint noise.
+
+The output is a grayscale image in [0, 1].  Downstream consumers:
+
+* :mod:`repro.data.nmnist` displays the image to the simulated DVS camera;
+* :mod:`repro.data.association` thresholds the image into the paper's
+  "pixel (x, y) -> spike in train y at time x" raster (Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..common.errors import DatasetError
+from ..common.rng import RandomState, as_random_state
+
+__all__ = ["DIGIT_STROKES", "render_digit", "render_digit_batch"]
+
+
+def _line(p0, p1):
+    return ("line", np.asarray(p0, float), np.asarray(p1, float))
+
+
+def _arc(center, radius, start_deg, end_deg):
+    return ("arc", np.asarray(center, float), float(radius),
+            float(start_deg), float(end_deg))
+
+
+def _quad(p0, p1, p2):
+    """Quadratic Bezier from p0 to p2 with control point p1."""
+    return ("quad", np.asarray(p0, float), np.asarray(p1, float),
+            np.asarray(p2, float))
+
+
+# Stroke skeletons in a unit box, origin bottom-left, y up.
+DIGIT_STROKES: dict[int, list] = {
+    0: [_arc((0.5, 0.5), 0.33, 0.0, 360.0)],
+    1: [_line((0.38, 0.72), (0.55, 0.90)),
+        _line((0.55, 0.90), (0.55, 0.10))],
+    2: [_arc((0.5, 0.66), 0.24, 170.0, -20.0),
+        _quad((0.72, 0.58), (0.55, 0.30), (0.25, 0.10)),
+        _line((0.25, 0.10), (0.78, 0.10))],
+    3: [_arc((0.48, 0.68), 0.22, 150.0, -80.0),
+        _arc((0.48, 0.30), 0.25, 80.0, -150.0)],
+    4: [_line((0.62, 0.90), (0.22, 0.38)),
+        _line((0.22, 0.38), (0.80, 0.38)),
+        _line((0.62, 0.90), (0.62, 0.10))],
+    5: [_line((0.74, 0.90), (0.30, 0.90)),
+        _line((0.30, 0.90), (0.28, 0.55)),
+        _arc((0.47, 0.32), 0.26, 100.0, -160.0)],
+    6: [_quad((0.64, 0.90), (0.34, 0.70), (0.28, 0.38)),
+        _arc((0.50, 0.32), 0.23, 0.0, 360.0)],
+    7: [_line((0.22, 0.90), (0.78, 0.90)),
+        _quad((0.78, 0.90), (0.55, 0.50), (0.40, 0.10))],
+    8: [_arc((0.50, 0.69), 0.20, 0.0, 360.0),
+        _arc((0.50, 0.29), 0.24, 0.0, 360.0)],
+    9: [_arc((0.50, 0.66), 0.22, 0.0, 360.0),
+        _quad((0.72, 0.62), (0.68, 0.30), (0.55, 0.10))],
+}
+
+
+def _sample_stroke(stroke, points_per_unit: float = 120.0) -> np.ndarray:
+    """Sample a stroke densely; returns (n, 2) points in unit coordinates."""
+    kind = stroke[0]
+    if kind == "line":
+        _, p0, p1 = stroke
+        length = float(np.linalg.norm(p1 - p0))
+        n = max(2, int(length * points_per_unit))
+        t = np.linspace(0.0, 1.0, n)[:, None]
+        return p0[None, :] * (1 - t) + p1[None, :] * t
+    if kind == "arc":
+        _, center, radius, a0, a1 = stroke
+        sweep = np.radians(abs(a1 - a0))
+        n = max(3, int(radius * sweep * points_per_unit))
+        angles = np.radians(np.linspace(a0, a1, n))
+        return center[None, :] + radius * np.stack(
+            [np.cos(angles), np.sin(angles)], axis=1
+        )
+    if kind == "quad":
+        _, p0, p1, p2 = stroke
+        chord = (np.linalg.norm(p1 - p0) + np.linalg.norm(p2 - p1))
+        n = max(3, int(chord * points_per_unit))
+        t = np.linspace(0.0, 1.0, n)[:, None]
+        return ((1 - t) ** 2) * p0 + 2 * (1 - t) * t * p1 + (t ** 2) * p2
+    raise DatasetError(f"unknown stroke kind {kind!r}")
+
+
+def render_digit(digit: int, size: int = 28,
+                 rng: RandomState | int | None = None,
+                 jitter: bool = True,
+                 thickness: float | None = None,
+                 blur: float = 0.7) -> np.ndarray:
+    """Render one digit as a ``(size, size)`` grayscale image in [0, 1].
+
+    Parameters
+    ----------
+    digit:
+        0-9.
+    size:
+        Output image side length in pixels.
+    rng:
+        Randomness source for the handwriting jitter.
+    jitter:
+        Apply per-sample affine + stroke variability; with ``False`` the
+        canonical skeleton is rendered (deterministic).
+    thickness:
+        Stroke half-width in unit coordinates; default draws ~2 px strokes
+        with small random variation when jittering.
+    blur:
+        Gaussian blur sigma (pixels) applied to soften the binary strokes
+        into MNIST-like grayscale.
+
+    Returns
+    -------
+    ndarray
+        Image with row 0 at the *top* (image convention), values in [0, 1].
+    """
+    if digit not in DIGIT_STROKES:
+        raise DatasetError(f"digit must be 0-9, got {digit}")
+    generator = as_random_state(rng)
+
+    if thickness is None:
+        thickness = 0.045
+        if jitter:
+            thickness *= float(generator.uniform(0.8, 1.35))
+
+    # Per-sample affine: rotation, slant (shear), anisotropic scale, shift.
+    if jitter:
+        angle = np.radians(generator.uniform(-9.0, 9.0))
+        shear = generator.uniform(-0.15, 0.15)
+        scale_x = generator.uniform(0.85, 1.1)
+        scale_y = generator.uniform(0.85, 1.1)
+        shift = generator.uniform(-0.05, 0.05, 2)
+    else:
+        angle, shear, scale_x, scale_y = 0.0, 0.0, 1.0, 1.0
+        shift = np.zeros(2)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    affine = np.array([[cos_a * scale_x, -sin_a + shear],
+                       [sin_a, cos_a * scale_y]])
+
+    points = []
+    for stroke in DIGIT_STROKES[digit]:
+        sampled = _sample_stroke(stroke)
+        if jitter:
+            # Smooth wobble along the stroke (handwriting tremor).
+            wobble = generator.normal(0.0, 0.008, sampled.shape)
+            wobble = ndimage.gaussian_filter1d(wobble, sigma=5, axis=0)
+            sampled = sampled + wobble
+        centred = sampled - 0.5
+        transformed = centred @ affine.T + 0.5 + shift
+        points.append(transformed)
+    all_points = np.concatenate(points, axis=0)
+
+    # Paint: mark every pixel within `thickness` of a sampled point.
+    image = np.zeros((size, size), dtype=np.float64)
+    pixel_radius = max(1, int(round(thickness * size)))
+    xs = np.clip((all_points[:, 0] * (size - 1)).round().astype(int), 0, size - 1)
+    ys = np.clip((all_points[:, 1] * (size - 1)).round().astype(int), 0, size - 1)
+    image[ys, xs] = 1.0
+    if pixel_radius > 0:
+        structure = _disk(pixel_radius)
+        image = ndimage.grey_dilation(image, footprint=structure)
+    if blur > 0:
+        image = ndimage.gaussian_filter(image, sigma=blur)
+        peak = image.max()
+        if peak > 0:
+            image = image / peak
+    # Convert from y-up math coordinates to image row order (row 0 = top).
+    return image[::-1].copy()
+
+
+def render_digit_batch(digits, size: int = 28,
+                       rng: RandomState | int | None = None,
+                       jitter: bool = True) -> np.ndarray:
+    """Render many digits; returns (n, size, size) with independent jitter."""
+    generator = as_random_state(rng)
+    digits = list(digits)
+    batch = np.zeros((len(digits), size, size), dtype=np.float64)
+    for index, digit in enumerate(digits):
+        batch[index] = render_digit(
+            int(digit), size=size, rng=generator.child(f"glyph{index}"),
+            jitter=jitter,
+        )
+    return batch
+
+
+def _disk(radius: int) -> np.ndarray:
+    """Boolean disk footprint for grey dilation."""
+    grid = np.arange(-radius, radius + 1)
+    xx, yy = np.meshgrid(grid, grid)
+    return (xx ** 2 + yy ** 2) <= radius ** 2

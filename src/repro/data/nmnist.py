@@ -1,0 +1,117 @@
+"""Synthetic N-MNIST: procedural digits seen through a simulated DVS camera.
+
+The real N-MNIST dataset was captured by displaying MNIST digits on an LCD
+and recording them with a DVS sensor on a pan/tilt platform performing
+three saccades.  This generator reproduces the *acquisition pipeline* with
+offline-safe components:
+
+    stroke-rendered digit glyph  ->  3-saccade motion  ->  DVS pixel model
+    (:mod:`repro.data.glyphs`)       (:mod:`repro.data.dvs`)
+
+yielding the same tensor format as the real dataset — ON/OFF event counts
+on a 34x34 grid over time, flattened to ``34*34*2 = 2312`` channels for the
+paper's MLP.  As with real N-MNIST (see Iyer et al., cited as [6] in the
+paper), most class information is *spatial*; the hard-reset ablation in
+Table II therefore costs only a few points here, in contrast to SHD.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.rng import RandomState, as_random_state
+from .datasets import SpikeDataset
+from .dvs import DVSCamera, record_moving_image
+from .glyphs import render_digit
+
+__all__ = ["SyntheticNMNISTConfig", "generate_nmnist"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticNMNISTConfig(BaseConfig):
+    """Generation parameters for the synthetic N-MNIST dataset.
+
+    Attributes
+    ----------
+    n_per_class:
+        Samples generated per digit class.
+    steps:
+        Time steps (frames); the three saccades split this evenly.
+        The real recordings are ~300 ms; 60 steps keeps the same
+        three-saccade structure at CI scale.
+    sensor_size:
+        DVS resolution (real sensor: 34).
+    digit_size:
+        Glyph raster size placed at the sensor centre (real MNIST: 28).
+    dvs_threshold:
+        Log-contrast threshold of the pixel model.
+    noise_rate:
+        Spurious event probability per pixel per frame.
+    saccade_amplitude:
+        Peak camera displacement in pixels.
+    """
+
+    n_per_class: int = 30
+    steps: int = 60
+    sensor_size: int = 34
+    digit_size: int = 28
+    dvs_threshold: float = 0.15
+    noise_rate: float = 0.001
+    saccade_amplitude: float = 3.0
+
+    def validate(self) -> None:
+        self.require_positive("n_per_class")
+        self.require(self.steps >= 3, "steps must be >= 3 (three saccades)")
+        self.require(self.digit_size <= self.sensor_size,
+                     "digit must fit on the sensor")
+        self.require_positive("dvs_threshold")
+        self.require_in_range("noise_rate", 0.0, 0.5)
+
+
+def generate_nmnist(config: SyntheticNMNISTConfig | None = None,
+                    rng: RandomState | int | None = None) -> SpikeDataset:
+    """Generate the synthetic N-MNIST dataset.
+
+    Returns
+    -------
+    SpikeDataset
+        ``inputs`` of shape (10*n_per_class, steps, sensor_size**2 * 2)
+        holding ON/OFF event counts; integer ``targets`` 0-9.
+    """
+    config = config or SyntheticNMNISTConfig()
+    root = as_random_state(rng)
+    n_total = 10 * config.n_per_class
+    channels = config.sensor_size * config.sensor_size * 2
+    inputs = np.zeros((n_total, config.steps, channels), dtype=np.float32)
+    labels = np.zeros(n_total, dtype=np.int64)
+
+    index = 0
+    for digit in range(10):
+        for sample in range(config.n_per_class):
+            sample_rng = root.child(f"digit{digit}-sample{sample}")
+            image = render_digit(
+                digit, size=config.digit_size,
+                rng=sample_rng.child("glyph"), jitter=True,
+            )
+            camera = DVSCamera(
+                threshold=config.dvs_threshold,
+                noise_rate=config.noise_rate,
+                rng=sample_rng.child("camera"),
+            )
+            events = record_moving_image(
+                image, steps=config.steps, sensor_size=config.sensor_size,
+                camera=camera, amplitude=config.saccade_amplitude,
+                rng=sample_rng.child("motion"),
+            )
+            inputs[index] = events.reshape(config.steps, channels)
+            labels[index] = digit
+            index += 1
+
+    return SpikeDataset(
+        inputs, labels, name="synthetic-nmnist",
+        class_names=[str(d) for d in range(10)],
+        metadata={"config": config.to_dict(), "seed": root.seed},
+    )

@@ -1,0 +1,113 @@
+"""Synthetic SHD: spoken digits through an artificial inner ear.
+
+The real Spiking Heidelberg Digits dataset (Cramer et al., cited as [3] in
+the paper) contains English and German spoken digits converted to 700
+spike trains by an inner-ear model, giving 20 classes whose information is
+carried largely by *spike timing*.  This generator reproduces the pipeline
+offline:
+
+    formant speech synthesis  ->  inner-ear encoder  ->  (T, 700) raster
+    (:mod:`repro.data.speech`)    (:mod:`repro.data.cochlea`)
+
+Class identity lives in the formant trajectories (channel-time patterns),
+so — as with real SHD — a hard-reset neuron that wipes its temporal state
+degrades severely here (Table II's 85.69 % -> 26.36 % collapse), while a
+mostly-spatial dataset like N-MNIST is barely affected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.rng import RandomState, as_random_state
+from .cochlea import Cochlea, CochleaConfig
+from .datasets import SpikeDataset
+from .speech import LANGUAGES, synthesize_digit
+
+__all__ = ["SyntheticSHDConfig", "generate_shd", "SHD_CLASS_NAMES"]
+
+SHD_CLASS_NAMES = [f"{lang[:2]}:{digit}"
+                   for lang in LANGUAGES for digit in range(10)]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticSHDConfig(BaseConfig):
+    """Generation parameters for the synthetic SHD dataset.
+
+    Attributes
+    ----------
+    n_per_class:
+        Samples per (language, digit) class — 20 classes total.
+    steps:
+        Raster length in frames (silence-padded; natural duration varies
+        with the speaker's tempo).
+    n_channels:
+        Inner-ear channels (SHD: 700).
+    sample_rate:
+        Synthesis rate (Hz).
+    gain_jitter:
+        Hair-cell gain variability (see :meth:`Cochlea.encode`).
+    """
+
+    n_per_class: int = 25
+    steps: int = 100
+    n_channels: int = 700
+    sample_rate: int = 8000
+    gain_jitter: float = 0.05
+
+    def validate(self) -> None:
+        self.require_positive("n_per_class")
+        self.require_positive("steps")
+        self.require_positive("n_channels")
+        self.require_positive("sample_rate")
+        self.require_non_negative("gain_jitter")
+
+
+def generate_shd(config: SyntheticSHDConfig | None = None,
+                 rng: RandomState | int | None = None) -> SpikeDataset:
+    """Generate the synthetic SHD dataset.
+
+    Returns
+    -------
+    SpikeDataset
+        ``inputs`` of shape (20*n_per_class, steps, n_channels); integer
+        ``targets`` where class = language_index*10 + digit
+        (see :data:`SHD_CLASS_NAMES`).
+    """
+    config = config or SyntheticSHDConfig()
+    root = as_random_state(rng)
+    cochlea = Cochlea(CochleaConfig(
+        n_channels=config.n_channels,
+        sample_rate=config.sample_rate,
+    ))
+    n_total = 20 * config.n_per_class
+    inputs = np.zeros((n_total, config.steps, config.n_channels),
+                      dtype=np.float32)
+    labels = np.zeros(n_total, dtype=np.int64)
+
+    index = 0
+    for lang_index, language in enumerate(LANGUAGES):
+        for digit in range(10):
+            class_id = lang_index * 10 + digit
+            for sample in range(config.n_per_class):
+                sample_rng = root.child(f"{language}-{digit}-{sample}")
+                waveform = synthesize_digit(
+                    language, digit, rng=sample_rng.child("speech"),
+                    sample_rate=config.sample_rate,
+                )
+                inputs[index] = cochlea.encode(
+                    waveform, steps=config.steps,
+                    rng=sample_rng.child("cochlea"),
+                    gain_jitter=config.gain_jitter,
+                )
+                labels[index] = class_id
+                index += 1
+
+    return SpikeDataset(
+        inputs, labels, name="synthetic-shd",
+        class_names=SHD_CLASS_NAMES,
+        metadata={"config": config.to_dict(), "seed": root.seed},
+    )

@@ -1,0 +1,17 @@
+"""Experiment registry and CLI: one runner per table/figure of the paper."""
+
+from .paperconfig import PAPER_CONFIG, PaperConfig, table1
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
+from .runners import ExperimentResult, resolve_profile
+
+__all__ = [
+    "PAPER_CONFIG",
+    "PaperConfig",
+    "table1",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "resolve_profile",
+]

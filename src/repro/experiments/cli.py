@@ -1,0 +1,71 @@
+"""Command-line entry point: ``repro-exp`` / ``python -m repro.experiments``.
+
+Usage::
+
+    repro-exp list                 # show all experiment ids
+    repro-exp run fig7             # run one experiment, print its report
+    repro-exp run table2-shd --profile full
+    repro-exp run-all              # run everything (CI profile)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Regenerate the tables and figures of 'Neuromorphic "
+                    "Algorithm-hardware Codesign for Temporal Pattern "
+                    "Learning' (DAC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    run.add_argument("--profile", choices=["ci", "full"], default=None,
+                     help="scale profile (default: REPRO_PROFILE or ci)")
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--profile", choices=["ci", "full"], default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(i) for i in EXPERIMENTS)
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.experiment_id:<{width}}  {spec.paper_artifact:<22}"
+                  f"  {spec.description}")
+        return 0
+    if args.command == "run":
+        started = time.perf_counter()
+        result = run_experiment(args.experiment_id, args.profile)
+        print(result.render())
+        print(f"\n[{args.experiment_id} finished in "
+              f"{time.perf_counter() - started:.1f}s]")
+        return 0
+    if args.command == "run-all":
+        for experiment_id in EXPERIMENTS:
+            started = time.perf_counter()
+            result = run_experiment(experiment_id, args.profile)
+            print("=" * 78)
+            print(result.render())
+            print(f"[{experiment_id}: {time.perf_counter() - started:.1f}s]")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

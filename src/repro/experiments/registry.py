@@ -1,0 +1,109 @@
+"""Experiment registry: id -> runner, with the per-experiment paper index.
+
+``EXPERIMENTS`` is the single source of truth mapping each of the paper's
+tables/figures to the code that regenerates it; DESIGN.md's per-experiment
+index mirrors this table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..common.errors import ExperimentError
+from . import runners
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artifact of the paper.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable id used by the CLI and the bench files.
+    paper_artifact:
+        Which table/figure/section of the paper this regenerates.
+    description:
+        One-line summary.
+    runner:
+        Callable ``(profile: str | None) -> ExperimentResult``.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in [
+        ExperimentSpec(
+            "table1", "Table I",
+            "Hyper-parameters used throughout the paper",
+            runners.run_table1),
+        ExperimentSpec(
+            "table2-nmnist", "Table II (N-MNIST rows)",
+            "N-MNIST classification: adaptive threshold vs hard reset",
+            runners.run_table2_nmnist),
+        ExperimentSpec(
+            "table2-shd", "Table II (SHD rows)",
+            "SHD classification: adaptive threshold vs hard reset",
+            runners.run_table2_shd),
+        ExperimentSpec(
+            "fig1", "Fig. 1",
+            "Synapse PSP and adaptive-threshold dynamics",
+            runners.run_fig1),
+        ExperimentSpec(
+            "fig4", "Fig. 4",
+            "Dataset raster samples (synthetic N-MNIST / SHD)",
+            runners.run_fig4),
+        ExperimentSpec(
+            "fig5", "Fig. 5",
+            "Spatial-temporal pattern association samples",
+            runners.run_fig5),
+        ExperimentSpec(
+            "fig7", "Fig. 7",
+            "Neuron circuit transient (PSP, threshold, spike, feedback)",
+            runners.run_fig7),
+        ExperimentSpec(
+            "fig8", "Fig. 8",
+            "Accuracy under 4/5-bit quantization and process variation",
+            runners.run_fig8),
+        ExperimentSpec(
+            "power-area", "Section V-C",
+            "Power / energy / area of the neuron+synapse circuit",
+            runners.run_power_area),
+        ExperimentSpec(
+            "ablation-surrogate", "(design ablation)",
+            "erfc vs sigmoid vs triangle vs rectangular surrogate",
+            runners.run_ablation_surrogate),
+        ExperimentSpec(
+            "ablation-gradient", "(design ablation)",
+            "exact filter-adjoint BPTT vs truncated eq. (13)",
+            runners.run_ablation_gradient),
+        ExperimentSpec(
+            "ablation-timing", "(dataset property check)",
+            "timing information in synthetic SHD (time-shuffle control)",
+            runners.run_ablation_timing),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a spec; raises :class:`ExperimentError` for unknown ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, profile: str | None = None):
+    """Run one experiment and return its :class:`ExperimentResult`."""
+    spec = get_experiment(experiment_id)
+    return spec.runner(profile)

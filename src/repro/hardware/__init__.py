@@ -1,0 +1,50 @@
+"""The codesigned hardware model: RRAM devices, quantization, crossbars,
+the behavioral analog circuit simulator, the paper's Fig. 6 neuron
+circuit, and power/energy/area estimation."""
+
+from .crossbar import DifferentialCrossbar
+from .devices import RRAMCellArray, RRAMDeviceConfig
+from .mapped_network import HardwareMappedNetwork, accuracy_under_variation
+from .neuron_circuit import (
+    NeuronCircuitConfig,
+    NeuronCircuitResult,
+    build_neuron_circuit,
+    simulate_neuron,
+)
+from .power import (
+    PAPER_POWER_REPORT,
+    AreaModelConfig,
+    PowerModelConfig,
+    PowerReport,
+    estimate_area,
+    estimate_power,
+)
+from .quantization import (
+    QuantizationConfig,
+    conductances_to_weights,
+    quantize_weights,
+    weights_to_conductances,
+)
+from .tiling import TiledCrossbar
+
+__all__ = [
+    "DifferentialCrossbar",
+    "RRAMCellArray",
+    "RRAMDeviceConfig",
+    "HardwareMappedNetwork",
+    "accuracy_under_variation",
+    "NeuronCircuitConfig",
+    "NeuronCircuitResult",
+    "build_neuron_circuit",
+    "simulate_neuron",
+    "PAPER_POWER_REPORT",
+    "AreaModelConfig",
+    "PowerModelConfig",
+    "PowerReport",
+    "estimate_area",
+    "estimate_power",
+    "QuantizationConfig",
+    "conductances_to_weights",
+    "quantize_weights",
+    "weights_to_conductances",
+]

@@ -1,0 +1,124 @@
+"""RRAM crossbar array model (paper Fig. 3 / Fig. 6 datapath).
+
+A crossbar performs the matrix-vector product of eq. (7) in the analog
+domain: filtered PSP voltages drive the word-lines, each cell sources a
+current ``I = G * V`` into its bit-line (Ohm's law), and the bit-line
+currents sum by Kirchhoff's law.  A sense resistor at each bit-line foot
+converts current to the voltage compared by the neuron circuit.
+
+This module models one *differential* crossbar (a ``g+`` and a ``g-``
+device per weight, two physical arrays) including:
+
+* k-bit conductance quantization (via :mod:`repro.hardware.devices`),
+* per-device lognormal programming variation (Fig. 8 sweep),
+* optional read noise,
+* the sense-resistor current-to-voltage conversion.  Per the paper, the
+  loading effect of the sense resistor on the bit-line is neglected ("we
+  ignore this effect ... as it should only affect the magnitude of the
+  resulting current and not the shape"), which corresponds to an ideal
+  current amplifier between bit-line and resistor [9].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+from ..common.rng import RandomState, as_random_state
+from .devices import RRAMCellArray, RRAMDeviceConfig
+from .quantization import weights_to_conductances
+
+__all__ = ["DifferentialCrossbar"]
+
+
+class DifferentialCrossbar:
+    """Differential-pair crossbar realising a signed weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        Trained weight matrix (n_out, n_in) to be programmed.
+    device:
+        Device model (levels = 2**bits for Fig. 8).
+    rng:
+        Randomness for programming variation / read noise.
+    v_read:
+        Nominal read voltage corresponding to a unit input activation.
+    r_sense:
+        Sense resistance converting bit-line current to voltage.
+    """
+
+    def __init__(self, weights: np.ndarray,
+                 device: RRAMDeviceConfig | None = None,
+                 rng: RandomState | int | None = None,
+                 v_read: float = 0.2, r_sense: float = 5e3):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got {weights.shape}")
+        if v_read <= 0 or r_sense <= 0:
+            raise ValueError("v_read and r_sense must be positive")
+        self.weights = weights
+        self.device = device or RRAMDeviceConfig()
+        self.rng = as_random_state(rng)
+        self.v_read = float(v_read)
+        self.r_sense = float(r_sense)
+
+        g_plus, g_minus, self.weight_scale = weights_to_conductances(
+            weights, self.device
+        )
+        self.array_plus = RRAMCellArray(
+            weights.shape, self.device, rng=self.rng.child("plus"))
+        self.array_minus = RRAMCellArray(
+            weights.shape, self.device, rng=self.rng.child("minus"))
+        self.array_plus.program(g_plus)
+        self.array_minus.program(g_minus)
+
+    # -- analog path -----------------------------------------------------------
+    def bitline_currents(self, activations: np.ndarray) -> np.ndarray:
+        """Differential bit-line currents for input ``activations``.
+
+        Parameters
+        ----------
+        activations:
+            (n_in,) or (batch, n_in) unit-less activations; scaled by
+            ``v_read`` into word-line voltages.
+
+        Returns
+        -------
+        ndarray
+            (n_out,) or (batch, n_out) currents ``I+ - I-`` in amperes.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.shape[-1] != self.weights.shape[1]:
+            raise ShapeError(
+                f"expected {self.weights.shape[1]} inputs, "
+                f"got {activations.shape[-1]}"
+            )
+        voltages = activations * self.v_read
+        g_diff = self.array_plus.read() - self.array_minus.read()
+        return voltages @ g_diff.T
+
+    def output_voltages(self, activations: np.ndarray) -> np.ndarray:
+        """Sense-resistor voltages ``I * r_sense``."""
+        return self.bitline_currents(activations) * self.r_sense
+
+    def effective_weights(self) -> np.ndarray:
+        """The signed weights actually realised by the programmed devices."""
+        window = self.device.g_max - self.device.g_min
+        g_diff = self.array_plus.read() - self.array_minus.read()
+        return g_diff * self.weight_scale / window
+
+    def matvec(self, activations: np.ndarray) -> np.ndarray:
+        """Numerically-referred product ``activations @ W_eff.T``.
+
+        This is the quantity the mapped network uses: the analog chain's
+        gains (v_read, r_sense, conductance window) cancel against the
+        calibrated weight scale, leaving the trained-weight units.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        return activations @ self.effective_weights().T
+
+    def __repr__(self) -> str:
+        return (f"DifferentialCrossbar({self.weights.shape[0]}x"
+                f"{self.weights.shape[1]}, levels={self.device.levels}, "
+                f"variation={self.device.variation})")

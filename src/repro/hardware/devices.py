@@ -1,0 +1,168 @@
+"""RRAM (memristor) device models.
+
+The paper's architecture stores synaptic weights as memristor conductances
+in a crossbar (Section I, IV).  This module models the individual cell:
+
+* a conductance range ``[g_min, g_max]`` (the HRS/LRS window),
+* discrete programming levels (k-bit quantization, Fig. 8 uses 4/5 bits),
+* programming *process variation* — each device's achieved resistance
+  deviates from the target by a multiplicative lognormal factor whose
+  standard deviation is the "process variation" axis of Fig. 8,
+* optional read noise (cycle-to-cycle).
+
+Conductances are stored in siemens; typical windows for HfO2-class devices
+are used as defaults (HRS 1 MΩ, LRS 10 kΩ).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.rng import RandomState, as_random_state
+
+__all__ = ["RRAMDeviceConfig", "RRAMCellArray"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RRAMDeviceConfig(BaseConfig):
+    """Device-level parameters of the memristor cells.
+
+    Attributes
+    ----------
+    g_min, g_max:
+        Conductance window in siemens (defaults: 1 uS - 100 uS, i.e.
+        1 MOhm HRS to 10 kOhm LRS).
+    levels:
+        Number of programmable conductance levels per device (e.g. 16 for
+        4-bit, 32 for 5-bit).
+    variation:
+        Std-dev of the multiplicative lognormal programming error on the
+        device *resistance* (the paper's Fig. 8 x-axis, 0 - 0.5).
+    read_noise:
+        Std-dev of multiplicative Gaussian noise applied per read; 0
+        disables.
+    stuck_at_rate:
+        Probability that a device is a manufacturing fault, stuck at one
+        end of the conductance window regardless of programming (split
+        evenly between stuck-at-HRS and stuck-at-LRS).  An extension
+        beyond the paper's Fig. 8 noise model, for yield studies.
+    """
+
+    g_min: float = 1e-6
+    g_max: float = 1e-4
+    levels: int = 16
+    variation: float = 0.0
+    read_noise: float = 0.0
+    stuck_at_rate: float = 0.0
+
+    def validate(self) -> None:
+        self.require_positive("g_min")
+        self.require(self.g_max > self.g_min,
+                     f"g_max ({self.g_max}) must exceed g_min ({self.g_min})")
+        self.require(self.levels >= 2, "need at least 2 conductance levels")
+        self.require_non_negative("variation")
+        self.require_non_negative("read_noise")
+        self.require_in_range("stuck_at_rate", 0.0, 1.0)
+
+    @property
+    def level_conductances(self) -> np.ndarray:
+        """The ideal programmable conductance ladder (levels,)."""
+        return np.linspace(self.g_min, self.g_max, self.levels)
+
+
+class RRAMCellArray:
+    """An array of memristor cells with programming and read semantics.
+
+    The array is programmed with *target* conductances; the achieved
+    conductances include the device-to-device programming variation.  Reads
+    return the achieved conductance with optional per-read noise.
+
+    Parameters
+    ----------
+    shape:
+        Array shape, e.g. ``(rows, cols)``.
+    config:
+        Device parameters.
+    rng:
+        Randomness for variation and read noise.
+    """
+
+    def __init__(self, shape: tuple, config: RRAMDeviceConfig | None = None,
+                 rng: RandomState | int | None = None):
+        self.shape = tuple(int(s) for s in shape)
+        self.config = config or RRAMDeviceConfig()
+        self.rng = as_random_state(rng)
+        self._target: np.ndarray | None = None
+        self._achieved: np.ndarray | None = None
+
+    @property
+    def is_programmed(self) -> bool:
+        return self._achieved is not None
+
+    def quantize_targets(self, conductances: np.ndarray) -> np.ndarray:
+        """Snap target conductances to the nearest programmable level."""
+        cfg = self.config
+        conductances = np.clip(conductances, cfg.g_min, cfg.g_max)
+        step = (cfg.g_max - cfg.g_min) / (cfg.levels - 1)
+        indices = np.round((conductances - cfg.g_min) / step)
+        return cfg.g_min + indices * step
+
+    def program(self, conductances: np.ndarray,
+                quantize: bool = True) -> np.ndarray:
+        """Program the array; returns the *achieved* conductances.
+
+        Process variation is modelled on the resistance: the achieved
+        resistance is ``R_target * exp(N(0, sigma))`` with
+        ``sigma = variation`` (lognormal, mean-one in log-space), i.e.
+        conductance is divided by that factor.  Achieved values are clipped
+        to the physical window.
+        """
+        conductances = np.asarray(conductances, dtype=np.float64)
+        if conductances.shape != self.shape:
+            raise ValueError(
+                f"expected shape {self.shape}, got {conductances.shape}"
+            )
+        cfg = self.config
+        target = self.quantize_targets(conductances) if quantize \
+            else np.clip(conductances, cfg.g_min, cfg.g_max)
+        achieved = target
+        if cfg.variation > 0:
+            factor = self.rng.lognormal(0.0, cfg.variation, self.shape)
+            achieved = target / factor
+        achieved = np.clip(achieved, cfg.g_min, cfg.g_max)
+        if cfg.stuck_at_rate > 0:
+            faulty = self.rng.random(self.shape) < cfg.stuck_at_rate
+            stuck_low = self.rng.random(self.shape) < 0.5
+            achieved = np.where(
+                faulty, np.where(stuck_low, cfg.g_min, cfg.g_max), achieved)
+        self._target = target
+        self._achieved = achieved
+        return achieved.copy()
+
+    def read(self) -> np.ndarray:
+        """Read the array conductances (with read noise if configured)."""
+        if self._achieved is None:
+            raise ValueError("array read before programming")
+        cfg = self.config
+        values = self._achieved
+        if cfg.read_noise > 0:
+            values = values * (
+                1.0 + self.rng.normal(0.0, cfg.read_noise, self.shape)
+            )
+            values = np.clip(values, cfg.g_min, cfg.g_max)
+        return values
+
+    def programming_error(self) -> np.ndarray:
+        """Relative conductance error |achieved - target| / target."""
+        if self._achieved is None or self._target is None:
+            raise ValueError("array not programmed")
+        return np.abs(self._achieved - self._target) / self._target
+
+    def __repr__(self) -> str:
+        state = "programmed" if self.is_programmed else "blank"
+        return (f"RRAMCellArray(shape={self.shape}, levels="
+                f"{self.config.levels}, variation={self.config.variation}, "
+                f"{state})")

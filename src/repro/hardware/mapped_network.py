@@ -1,0 +1,111 @@
+"""Hardware-in-the-loop inference: a trained network on RRAM crossbars.
+
+This implements the evaluation behind the paper's Fig. 8: trained weights
+are programmed into differential RRAM crossbars with k-bit quantization
+and per-device lognormal process variation; inference then runs the same
+adaptive-threshold dynamics using the *achieved* (non-ideal) weights.
+
+Because the neuron dynamics are unchanged — only the weight values move —
+mapping reduces to constructing a clone network whose weights are the
+crossbars' effective weights.  That clone is a faithful model of the
+analog datapath under the paper's own simplifications (sense-resistor
+loading neglected via the current-amplifier argument, Section IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.rng import RandomState, as_random_state
+from ..core.network import SpikingNetwork
+from ..core.trainer import run_in_batches
+from .crossbar import DifferentialCrossbar
+from .devices import RRAMDeviceConfig
+
+__all__ = ["HardwareMappedNetwork", "accuracy_under_variation"]
+
+
+class HardwareMappedNetwork:
+    """A trained :class:`~repro.core.network.SpikingNetwork` on crossbars.
+
+    Parameters
+    ----------
+    network:
+        The trained software model (unmodified).
+    device:
+        RRAM device model; ``levels = 2**bits`` sets the quantization and
+        ``variation`` the programming noise.
+    rng:
+        Randomness for the device draws (one independent stream per layer
+        and polarity).
+    """
+
+    def __init__(self, network: SpikingNetwork,
+                 device: RRAMDeviceConfig | None = None,
+                 rng: RandomState | int | None = None):
+        self.software_network = network
+        self.device = device or RRAMDeviceConfig()
+        root = as_random_state(rng)
+        self.crossbars = [
+            DifferentialCrossbar(layer.weight, self.device,
+                                 rng=root.child(f"crossbar{i}"))
+            for i, layer in enumerate(network.layers)
+        ]
+        self.hardware_network = SpikingNetwork(
+            network.sizes, params=network.params,
+            neuron_kind=network.neuron_kind, rng=0,
+        )
+        self.hardware_network.set_weights(
+            [xbar.effective_weights() for xbar in self.crossbars]
+        )
+
+    def run(self, inputs: np.ndarray, record: bool = False):
+        """Inference with the achieved (quantized + noisy) weights."""
+        return self.hardware_network.run(inputs, record=record)
+
+    def weight_errors(self) -> list[float]:
+        """Per-layer RMS relative weight error vs the software model."""
+        errors = []
+        for layer, xbar in zip(self.software_network.layers, self.crossbars):
+            ideal = layer.weight
+            actual = xbar.effective_weights()
+            scale = float(np.max(np.abs(ideal))) or 1.0
+            errors.append(float(np.sqrt(np.mean((actual - ideal) ** 2)) / scale))
+        return errors
+
+
+def accuracy_under_variation(network: SpikingNetwork, inputs: np.ndarray,
+                             labels: np.ndarray, bits: int,
+                             variation: float, n_seeds: int = 3,
+                             rng: RandomState | int | None = None,
+                             batch_size: int = 64) -> tuple[float, float]:
+    """Mean/std accuracy over device-noise seeds (one Fig. 8 data point).
+
+    Parameters
+    ----------
+    network:
+        Trained classifier.
+    inputs, labels:
+        Evaluation set.
+    bits:
+        Weight precision (Fig. 8: 4 or 5).
+    variation:
+        Lognormal resistance-deviation sigma (Fig. 8 x-axis, 0 - 0.5).
+    n_seeds:
+        Independent programming draws to average over.
+
+    Returns
+    -------
+    (mean_accuracy, std_accuracy)
+    """
+    root = as_random_state(rng)
+    device = RRAMDeviceConfig(levels=2 ** bits, variation=variation)
+    accuracies = []
+    for seed in range(n_seeds):
+        mapped = HardwareMappedNetwork(
+            network, device, rng=root.child(f"seed{seed}")
+        )
+        outputs = run_in_batches(mapped.hardware_network, inputs, batch_size)
+        predictions = np.argmax(outputs.sum(axis=1), axis=1)
+        accuracies.append(float(np.mean(predictions == labels)))
+    return float(np.mean(accuracies)), float(np.std(accuracies))

@@ -1,0 +1,235 @@
+"""The paper's neurosynaptic circuit (Fig. 6) and its transient experiment
+(Fig. 7).
+
+Topology (one synapse, one neuron — exactly the configuration the paper
+simulates in Cadence)::
+
+    spike in --[R_syn]--+-- k(t)         (synapse RC filter, word-line)
+                        |
+                      [C_syn]
+                        |
+                       gnd
+    k(t) --[R_mem (RRAM cell)]--+-- g(t) (bit-line PSP)
+                                |
+                             [R_sense]
+                                |
+                               gnd
+    comparator:  + input = g(t),  - input = threshold
+    comparator out --[R_fb]--+-- h(t)    (feedback RC filter)
+                             |
+                           [C_fb]
+                             |
+                            gnd
+    bias amp: threshold = h(t) + V_bias  (the adaptive threshold)
+    comparator out -> inverter -> inverter -> output spike
+
+Component values follow Section V-C: ``R = 4.56 kOhm``, ``C = 10.14 pF``
+(RC = 46.2 ns, i.e. tau = 4 steps of 10 ns — silicon matches the Table I
+software tau), 10 ns input spikes, 550 mV threshold bias, 1 V supply
+(TSMC 1V-65 nm).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.units import KILO, NANO, PICO
+from .spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    VoltageSource,
+    comparator,
+    count_pulses,
+    inverter,
+    pulse_train,
+    summing_amp,
+)
+
+__all__ = ["NeuronCircuitConfig", "build_neuron_circuit", "simulate_neuron",
+           "NeuronCircuitResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NeuronCircuitConfig(BaseConfig):
+    """Component values for the Fig. 6 circuit (paper Section V-C defaults).
+
+    Attributes
+    ----------
+    r_filter:
+        Synapse / feedback filter resistance (paper: 4.56 kOhm).
+    c_filter:
+        Filter capacitance (paper: 10.14 pF) — RC = 46.2 ns.
+    step_ns:
+        Physical step = input spike width (paper: 10 ns).
+    v_dd:
+        Supply voltage (paper: 1 V).
+    v_bias:
+        Threshold bias at the comparator's negative input (paper: 550 mV).
+    r_memristor:
+        RRAM cell resistance on the bit-line (mid-window default).
+    r_sense:
+        Bit-line sense resistance converting current to the PSP voltage.
+    spike_amplitude:
+        Input spike level; the paper level-shifts input spikes above VDD
+        so the filtered PSP stays in the amplifier operating range.
+    comparator_gain, comparator_tau_ns:
+        Behavioral comparator open-loop gain and output time constant
+        (the non-ideal edge visible in Fig. 7(b)'s yellow trace).
+    """
+
+    r_filter: float = 4.56 * KILO
+    c_filter: float = 10.14 * PICO
+    step_ns: float = 10.0
+    v_dd: float = 1.0
+    v_bias: float = 0.55
+    r_memristor: float = 20.0 * KILO
+    r_sense: float = 40.0 * KILO
+    spike_amplitude: float = 2.5
+    comparator_gain: float = 400.0
+    comparator_tau_ns: float = 2.0
+
+    def validate(self) -> None:
+        for field in ("r_filter", "c_filter", "step_ns", "v_dd",
+                      "r_memristor", "r_sense", "spike_amplitude",
+                      "comparator_gain", "comparator_tau_ns"):
+            self.require_positive(field)
+        self.require(0 < self.v_bias < self.spike_amplitude,
+                     "v_bias must lie inside the signal range")
+
+    @property
+    def tau_seconds(self) -> float:
+        """Filter time constant RC (paper: 46.2 ns ~= 4 steps of 10 ns)."""
+        return self.r_filter * self.c_filter
+
+    @property
+    def tau_steps(self) -> float:
+        """RC expressed in algorithm steps (the software tau of Table I)."""
+        return self.tau_seconds / (self.step_ns * NANO)
+
+
+class NeuronCircuitResult:
+    """Traces and measurements from a neuron-circuit transient run.
+
+    Attributes mirror the panels of Fig. 7: the filtered input ``k``, the
+    bit-line PSP ``g``, the adaptive ``threshold``, the raw ``comparator``
+    output, the filtered ``feedback`` (h), and the buffered output
+    ``spike`` waveform.
+    """
+
+    def __init__(self, time: np.ndarray, traces: dict[str, np.ndarray],
+                 config: NeuronCircuitConfig):
+        self.time = time
+        self.traces = traces
+        self.config = config
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.traces[name]
+
+    def output_spike_count(self) -> int:
+        """Output spikes = rising crossings of VDD/2 on the buffered out."""
+        return count_pulses(self.time, self.traces["spike"],
+                            self.config.v_dd / 2.0)
+
+    def summary(self) -> dict:
+        """Key Fig. 7 observables."""
+        return {
+            "output_spikes": self.output_spike_count(),
+            "psp_peak": float(self.traces["g"].max()),
+            "threshold_base": float(self.traces["threshold"][0]),
+            "threshold_peak": float(self.traces["threshold"].max()),
+            "feedback_peak": float(self.traces["feedback"].max()),
+        }
+
+
+def build_neuron_circuit(config: NeuronCircuitConfig,
+                         spike_times_ns: list[float]) -> Circuit:
+    """Assemble the Fig. 6 netlist for a given input spike train."""
+    cfg = config
+    circuit = Circuit("fang2021-neuron")
+    width = cfg.step_ns * NANO
+    wave = pulse_train([t * NANO for t in spike_times_ns], width=width,
+                       amplitude=cfg.spike_amplitude)
+    circuit.add(VoltageSource("vin", "in", "0", wave))
+    # Synapse RC filter -> k(t) at the word-line.
+    circuit.add(Resistor("r_syn", "in", "k", cfg.r_filter))
+    circuit.add(Capacitor("c_syn", "k", "0", cfg.c_filter))
+    # RRAM cell + sense resistor -> PSP voltage g(t) at the bit-line foot.
+    circuit.add(Resistor("r_mem", "k", "g", cfg.r_memristor))
+    circuit.add(Resistor("r_sense", "g", "0", cfg.r_sense))
+    # Comparator with adaptive threshold at its negative input.
+    circuit.add(comparator(
+        "cmp", "g", "threshold", "cmp_out",
+        gain=cfg.comparator_gain, vdd=cfg.v_dd,
+        tau=cfg.comparator_tau_ns * NANO,
+    ))
+    # Feedback RC filter -> h(t).
+    circuit.add(Resistor("r_fb", "cmp_out", "feedback", cfg.r_filter))
+    circuit.add(Capacitor("c_fb", "feedback", "0", cfg.c_filter))
+    # Bias op-amp: threshold = feedback + v_bias (rails allow v_dd + bias).
+    bias = summing_amp("bias", "feedback", "threshold",
+                       offset=cfg.v_bias, vdd=cfg.v_dd + cfg.v_bias)
+    circuit.add(bias)
+    # Threshold node needs a DC path; the summing amp drives it directly,
+    # but add a light load so the node is never floating.
+    circuit.add(Resistor("r_thresh_load", "threshold", "0", 1e6))
+    circuit.add(Resistor("r_cmp_load", "cmp_out", "0", 1e6))
+    # Two inverters restore ideal rail-to-rail output spikes.  The first
+    # sees a low comparator at t=0 (output high); the second therefore
+    # starts low.
+    circuit.add(inverter("inv1", "cmp_out", "n_inv", vdd=cfg.v_dd))
+    circuit.add(inverter("inv2", "n_inv", "spike", vdd=cfg.v_dd,
+                         initial=0.0))
+    circuit.add(Resistor("r_out_load", "spike", "0", 1e6))
+    return circuit
+
+
+def simulate_neuron(spike_times_ns: list[float],
+                    config: NeuronCircuitConfig | None = None,
+                    duration_ns: float | None = None,
+                    dt_ns: float = 0.5) -> NeuronCircuitResult:
+    """Run the Fig. 7 transient experiment.
+
+    Parameters
+    ----------
+    spike_times_ns:
+        Input spike start times in nanoseconds.
+    config:
+        Circuit values (paper defaults when omitted).
+    duration_ns:
+        Simulation span; default runs 10 filter time constants past the
+        last spike.
+    dt_ns:
+        Solver step (must resolve the comparator lag).
+
+    Returns
+    -------
+    NeuronCircuitResult
+        With traces ``k`` (filtered input), ``g`` (PSP), ``threshold``,
+        ``comparator``, ``feedback`` (h) and ``spike`` (buffered output).
+    """
+    config = config or NeuronCircuitConfig()
+    if not spike_times_ns:
+        raise ValueError("need at least one input spike")
+    if duration_ns is None:
+        duration_ns = max(spike_times_ns) + config.step_ns \
+            + 10.0 * config.tau_seconds / NANO
+    circuit = build_neuron_circuit(config, spike_times_ns)
+    result = circuit.transient(
+        t_stop=duration_ns * NANO, dt=dt_ns * NANO,
+        record_nodes=["in", "k", "g", "threshold", "cmp_out", "feedback",
+                      "n_inv", "spike"],
+    )
+    traces = {
+        "input": result.voltage("in"),
+        "k": result.voltage("k"),
+        "g": result.voltage("g"),
+        "threshold": result.voltage("threshold"),
+        "comparator": result.voltage("cmp_out"),
+        "feedback": result.voltage("feedback"),
+        "spike": result.voltage("spike"),
+    }
+    return NeuronCircuitResult(result.time, traces, config)

@@ -1,0 +1,208 @@
+"""Power, energy and area estimation for the neurosynaptic circuit.
+
+Reproduces the methodology of the paper's Section V-C: an input sample
+(300 steps of 10 ns, 14 input spikes) is run through the circuit transient,
+instantaneous power is evaluated at every solver step, and the minimum /
+maximum / average power plus total energy are reported, alongside a
+footprint-sum area estimate.
+
+The paper's numbers come from Cadence with a TSMC 65 nm PDK we do not
+have; this model computes the same quantities from the behavioral traces:
+
+* resistive dissipation ``V^2/R`` of every resistor, from the node traces;
+* capacitor charging current drawn through the amplifier output stages
+  (``|I| * V_DD`` supply draw);
+* static (quiescent) bias power of the analog blocks — class-A op-amp
+  stages burn current regardless of activity, which is why the paper's
+  *minimum* (1.067 mW) is already within 4 % of its *average* (1.11 mW).
+
+The static constants are calibrated so the idle floor lands in the
+paper's regime (documented per block below); the *dynamic* structure —
+when power peaks, how energy scales with spike count — follows entirely
+from the simulated waveforms.  Area sums per-device footprints at 65 nm
+densities; the two 10.14 pF MIM capacitors dominate, which is consistent
+with the paper's total of 0.0125 mm^2 for a single neuron + synapse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from ..common.units import si_format
+from .neuron_circuit import NeuronCircuitConfig, NeuronCircuitResult
+
+__all__ = ["PowerModelConfig", "AreaModelConfig", "PowerReport",
+           "estimate_power", "estimate_area", "PAPER_POWER_REPORT"]
+
+#: The paper's Section V-C reference values (for report tables/tests).
+PAPER_POWER_REPORT = {
+    "min_power_w": 1.067e-3,
+    "max_power_w": 1.965e-3,
+    "avg_power_w": 1.11e-3,
+    "energy_j": 3.329e-9,
+    "area_mm2": 0.0125,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerModelConfig(BaseConfig):
+    """Static power constants for the analog blocks (65 nm class-A stages).
+
+    Calibrated so the quiescent floor matches the regime of the paper's
+    minimum power (about 1.07 mW for one neuron + synapse): the comparator
+    needs a strong second stage to drive the feedback RC (paper Section
+    IV), so it dominates; the bias amp drives only the comparator input.
+    """
+
+    comparator_static_w: float = 5.5e-4
+    bias_amp_static_w: float = 4.6e-4
+    inverter_static_w: float = 2.5e-5
+    level_shifter_static_w: float = 2.0e-5
+
+    def validate(self) -> None:
+        for field in ("comparator_static_w", "bias_amp_static_w",
+                      "inverter_static_w", "level_shifter_static_w"):
+            self.require_non_negative(field)
+
+    @property
+    def total_static_w(self) -> float:
+        return (self.comparator_static_w + self.bias_amp_static_w
+                + 2 * self.inverter_static_w + self.level_shifter_static_w)
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaModelConfig(BaseConfig):
+    """65 nm footprint densities / block areas.
+
+    Attributes
+    ----------
+    mim_cap_density_f_per_um2:
+        MIM capacitor density (2 fF/um^2 is typical at 65 nm).
+    poly_res_ohm_per_um2:
+        Effective resistance per unit area for poly resistors.
+    opamp_area_um2:
+        Footprint of one two-stage op-amp.
+    inverter_area_um2:
+        Footprint of one inverter.
+    rram_cell_area_um2:
+        One memristor cell (4F^2-class at 65 nm plus access overhead).
+    """
+
+    mim_cap_density_f_per_um2: float = 2e-15
+    poly_res_ohm_per_um2: float = 300.0
+    opamp_area_um2: float = 900.0
+    inverter_area_um2: float = 2.0
+    rram_cell_area_um2: float = 0.1
+
+    def validate(self) -> None:
+        for field in ("mim_cap_density_f_per_um2", "poly_res_ohm_per_um2",
+                      "opamp_area_um2", "inverter_area_um2",
+                      "rram_cell_area_um2"):
+            self.require_positive(field)
+
+
+@dataclasses.dataclass
+class PowerReport:
+    """Min/max/avg power, energy and the per-step power trace."""
+
+    min_power_w: float
+    max_power_w: float
+    avg_power_w: float
+    energy_j: float
+    duration_s: float
+    power_trace_w: np.ndarray
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """(quantity, paper, measured) rows for the bench harness."""
+        paper = PAPER_POWER_REPORT
+        return [
+            ("min power", si_format(paper["min_power_w"], "W"),
+             si_format(self.min_power_w, "W")),
+            ("max power", si_format(paper["max_power_w"], "W"),
+             si_format(self.max_power_w, "W")),
+            ("avg power", si_format(paper["avg_power_w"], "W"),
+             si_format(self.avg_power_w, "W")),
+            ("energy", si_format(paper["energy_j"], "J"),
+             si_format(self.energy_j, "J")),
+        ]
+
+
+def estimate_power(result: NeuronCircuitResult,
+                   model: PowerModelConfig | None = None) -> PowerReport:
+    """Integrate instantaneous power over a neuron-circuit transient.
+
+    Parameters
+    ----------
+    result:
+        Traces from :func:`repro.hardware.neuron_circuit.simulate_neuron`.
+    model:
+        Static power constants.
+    """
+    model = model or PowerModelConfig()
+    cfg: NeuronCircuitConfig = result.config
+    time = result.time
+    if len(time) < 2:
+        raise ValueError("transient too short for power integration")
+    dt = float(time[1] - time[0])
+
+    v_in = result["input"]
+    v_k = result["k"]
+    v_g = result["g"]
+    v_cmp = result["comparator"]
+    v_fb = result["feedback"]
+    v_thr = result["threshold"]
+    v_out = result["spike"]
+
+    # Resistive dissipation from the recorded node voltages.
+    p_resistive = (
+        (v_in - v_k) ** 2 / cfg.r_filter        # synapse filter R
+        + (v_k - v_g) ** 2 / cfg.r_memristor    # RRAM cell
+        + v_g ** 2 / cfg.r_sense                # sense resistor
+        + (v_cmp - v_fb) ** 2 / cfg.r_filter    # feedback filter R
+    )
+    # Amplifier output stages: supply draw ~ |I_out| * VDD.
+    i_cmp = np.abs(v_cmp - v_fb) / cfg.r_filter
+    i_bias = np.abs(v_thr) / 1e6                # light threshold load
+    i_out = np.abs(np.gradient(v_out, dt)) * cfg.c_filter * 0.05
+    p_dynamic = (i_cmp + i_bias + i_out) * cfg.v_dd
+
+    power = model.total_static_w + p_resistive + p_dynamic
+    energy = float(np.sum(power) * dt)
+    return PowerReport(
+        min_power_w=float(power.min()),
+        max_power_w=float(power.max()),
+        avg_power_w=float(power.mean()),
+        energy_j=energy,
+        duration_s=float(time[-1] - time[0] + dt),
+        power_trace_w=power,
+    )
+
+
+def estimate_area(circuit: NeuronCircuitConfig | None = None,
+                  model: AreaModelConfig | None = None) -> dict:
+    """Footprint-sum area estimate for one neuron + synapse circuit.
+
+    Returns a breakdown dict (um^2 per block) plus ``total_mm2``.
+    """
+    circuit = circuit or NeuronCircuitConfig()
+    model = model or AreaModelConfig()
+    cap_area = circuit.c_filter / model.mim_cap_density_f_per_um2
+    res_area_filter = circuit.r_filter / model.poly_res_ohm_per_um2
+    res_area_sense = circuit.r_sense / model.poly_res_ohm_per_um2
+    breakdown = {
+        "synapse_cap_um2": cap_area,
+        "feedback_cap_um2": cap_area,
+        "filter_resistors_um2": 2 * res_area_filter,
+        "sense_resistor_um2": res_area_sense,
+        "comparator_um2": model.opamp_area_um2,
+        "bias_amp_um2": model.opamp_area_um2,
+        "inverters_um2": 2 * model.inverter_area_um2,
+        "rram_cell_um2": model.rram_cell_area_um2,
+    }
+    total_um2 = float(sum(breakdown.values()))
+    breakdown["total_um2"] = total_um2
+    breakdown["total_mm2"] = total_um2 * 1e-6  # 1 mm^2 = 1e6 um^2
+    return breakdown

@@ -1,0 +1,114 @@
+"""Weight quantization and weight-to-conductance mapping.
+
+Trained weights are signed reals; memristor conductances are positive and
+bounded.  Following standard crossbar practice (and the paper's Fig. 8
+levels), a weight ``w`` maps to a *differential pair* of conductances:
+
+.. math::
+
+    w \\propto g^+ - g^-
+
+with one device per sign: positive weights program ``g+`` above the
+midpoint and ``g-`` at minimum, negative weights the mirror.  Each layer
+uses a single scale factor chosen so the largest |weight| uses the full
+conductance window — that scale is divided back out after the analog dot
+product, so quantization error (not gain) is the only distortion.
+
+``quantize_weights`` is the pure-software shortcut used for quick sweeps:
+it rounds weights to the same k-bit grid the conductance pair would
+realise, without building device arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..common.config import BaseConfig
+from .devices import RRAMDeviceConfig
+
+__all__ = [
+    "QuantizationConfig",
+    "quantize_weights",
+    "weights_to_conductances",
+    "conductances_to_weights",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizationConfig(BaseConfig):
+    """k-bit weight quantization parameters.
+
+    Attributes
+    ----------
+    bits:
+        Bits per device (Fig. 8: 4 or 5), i.e. ``2**bits`` levels.
+    symmetric:
+        Use a symmetric grid around zero (required by the differential
+        mapping).
+    """
+
+    bits: int = 4
+    symmetric: bool = True
+
+    def validate(self) -> None:
+        self.require(1 <= self.bits <= 16, f"bits must be 1-16, got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        return 2 ** self.bits
+
+
+def quantize_weights(weights: np.ndarray, config: QuantizationConfig,
+                     scale: float | None = None) -> np.ndarray:
+    """Round ``weights`` to the k-bit grid; returns the dequantized values.
+
+    Parameters
+    ----------
+    scale:
+        Full-scale value; defaults to ``max(|weights|)`` (per-tensor).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if scale is None:
+        scale = float(np.max(np.abs(weights)))
+    if scale == 0.0:
+        return np.zeros_like(weights)
+    # Symmetric signed grid with (levels - 1) steps across [-scale, +scale].
+    steps = config.levels - 1
+    normalized = np.clip(weights / scale, -1.0, 1.0)
+    quantized = np.round(normalized * steps / 2.0) * 2.0 / steps
+    return quantized * scale
+
+
+def weights_to_conductances(weights: np.ndarray,
+                            device: RRAMDeviceConfig,
+                            scale: float | None = None
+                            ) -> tuple[np.ndarray, np.ndarray, float]:
+    """Map signed weights to differential conductance targets.
+
+    Returns ``(g_plus, g_minus, weight_scale)`` where the realised weight is
+    ``(g_plus - g_minus) * weight_scale / (g_max - g_min)``; both arrays lie
+    in the device window and the mapping uses the full dynamic range for
+    the largest |weight|.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if scale is None:
+        scale = float(np.max(np.abs(weights)))
+    if scale == 0.0:
+        scale = 1.0
+    window = device.g_max - device.g_min
+    normalized = np.clip(weights / scale, -1.0, 1.0)
+    magnitude = np.abs(normalized) * window
+    g_plus = np.where(normalized >= 0, device.g_min + magnitude, device.g_min)
+    g_minus = np.where(normalized < 0, device.g_min + magnitude, device.g_min)
+    return g_plus, g_minus, float(scale)
+
+
+def conductances_to_weights(g_plus: np.ndarray, g_minus: np.ndarray,
+                            device: RRAMDeviceConfig,
+                            weight_scale: float) -> np.ndarray:
+    """Invert :func:`weights_to_conductances` for achieved conductances."""
+    window = device.g_max - device.g_min
+    return (np.asarray(g_plus, dtype=np.float64)
+            - np.asarray(g_minus, dtype=np.float64)) * weight_scale / window

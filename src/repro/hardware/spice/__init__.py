@@ -1,0 +1,50 @@
+"""A compact behavioral analog circuit simulator (MNA + backward Euler).
+
+Substitutes for the paper's Cadence Virtuoso transient simulations: linear
+R/C networks are solved exactly per step; op-amps, comparators and
+inverters are behavioral sources with finite gain, bandwidth, rails and
+slew (see :mod:`repro.hardware.spice.netlist`).
+"""
+
+from .mna import Circuit, TransientResult
+from .netlist import (
+    GROUND,
+    BehavioralSource,
+    Capacitor,
+    Component,
+    Resistor,
+    VoltageSource,
+    comparator,
+    inverter,
+    summing_amp,
+)
+from .waveforms import (
+    constant,
+    count_pulses,
+    falling_crossings,
+    pulse_train,
+    pwl,
+    rising_crossings,
+    trace_stats,
+)
+
+__all__ = [
+    "Circuit",
+    "TransientResult",
+    "GROUND",
+    "BehavioralSource",
+    "Capacitor",
+    "Component",
+    "Resistor",
+    "VoltageSource",
+    "comparator",
+    "inverter",
+    "summing_amp",
+    "constant",
+    "count_pulses",
+    "falling_crossings",
+    "pulse_train",
+    "pwl",
+    "rising_crossings",
+    "trace_stats",
+]

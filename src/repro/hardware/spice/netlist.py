@@ -1,0 +1,224 @@
+"""Circuit primitives for the behavioral analog simulator.
+
+The paper's neuron circuit (Fig. 6) was simulated in Cadence Virtuoso with
+a TSMC 65 nm PDK; offline we substitute a compact behavioral simulator
+built on modified nodal analysis (:mod:`repro.hardware.spice.mna`).  The
+component set is exactly what the circuit needs:
+
+* linear passives — :class:`Resistor`, :class:`Capacitor`;
+* independent sources — :class:`VoltageSource` driven by a waveform
+  callable;
+* :class:`BehavioralSource` — the workhorse for active elements: a voltage
+  source whose *target* value is an arbitrary function of other node
+  voltages, tracked with a first-order lag (finite bandwidth) and clipped
+  to supply rails (saturation) and an optional slew-rate limit.  Op-amps,
+  comparators, summing amplifiers and CMOS inverters are all thin wrappers
+  over it (see :func:`comparator`, :func:`summing_amp`, :func:`inverter`).
+
+The lag makes the whole system *semi-implicit*: active-element outputs are
+advanced explicitly from the previous step's node voltages, so each MNA
+solve stays linear — robust and fast for the RC-dominated circuits here,
+provided the time step resolves the fastest element lag (asserted by the
+solver).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...common.errors import CircuitError
+
+__all__ = [
+    "Component",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "BehavioralSource",
+    "comparator",
+    "summing_amp",
+    "inverter",
+    "GROUND",
+]
+
+GROUND = "0"
+
+
+class Component:
+    """Base class: every component has a name and a tuple of nodes."""
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise CircuitError("component needs a non-empty name")
+        self.name = name
+        self.nodes = tuple(str(n) for n in nodes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+class Resistor(Component):
+    """Ideal resistor between two nodes."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        super().__init__(name, (node_a, node_b))
+        if resistance <= 0:
+            raise CircuitError(f"{name}: resistance must be positive, "
+                               f"got {resistance}")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+class Capacitor(Component):
+    """Ideal capacitor between two nodes (backward-Euler companion model)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float,
+                 initial_voltage: float = 0.0):
+        super().__init__(name, (node_a, node_b))
+        if capacitance <= 0:
+            raise CircuitError(f"{name}: capacitance must be positive, "
+                               f"got {capacitance}")
+        self.capacitance = float(capacitance)
+        self.initial_voltage = float(initial_voltage)
+
+
+class VoltageSource(Component):
+    """Independent voltage source; ``waveform`` maps time (s) to volts."""
+
+    def __init__(self, name: str, node_plus: str, node_minus: str,
+                 waveform: Callable[[float], float] | float):
+        super().__init__(name, (node_plus, node_minus))
+        if callable(waveform):
+            self.waveform = waveform
+        else:
+            value = float(waveform)
+            self.waveform = lambda t, _v=value: _v
+
+    def value(self, t: float) -> float:
+        return float(self.waveform(t))
+
+
+class BehavioralSource(Component):
+    """Voltage source targeting ``func(inputs)`` with lag, rails and slew.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    output:
+        Driven node (referenced to ground).
+    inputs:
+        Node names whose voltages are passed to ``func`` (in order).
+    func:
+        Target output voltage as a function of the input node voltages.
+    tau:
+        First-order response time constant (seconds); models the finite
+        bandwidth of the amplifier output stage.
+    rails:
+        (v_low, v_high) output clamp.
+    slew_rate:
+        Max |dV/dt| in V/s; ``None`` disables.
+    initial:
+        Initial output voltage.
+    """
+
+    def __init__(self, name: str, output: str, inputs: Sequence[str],
+                 func: Callable[..., float], tau: float,
+                 rails: tuple[float, float] = (0.0, 1.0),
+                 slew_rate: float | None = None,
+                 initial: float = 0.0):
+        super().__init__(name, (output, *inputs))
+        if tau <= 0:
+            raise CircuitError(f"{name}: tau must be positive, got {tau}")
+        v_low, v_high = rails
+        if v_low >= v_high:
+            raise CircuitError(f"{name}: rails must satisfy low < high")
+        self.output = str(output)
+        self.inputs = tuple(str(n) for n in inputs)
+        self.func = func
+        self.tau = float(tau)
+        self.rails = (float(v_low), float(v_high))
+        self.slew_rate = None if slew_rate is None else float(slew_rate)
+        self.initial = float(initial)
+        self.state = float(initial)
+
+    def reset(self) -> None:
+        self.state = self.initial
+
+    def advance(self, input_voltages: Sequence[float], dt: float) -> float:
+        """Step the output lag toward the target; returns the new value."""
+        target = float(self.func(*input_voltages))
+        target = min(max(target, self.rails[0]), self.rails[1])
+        # First-order lag, exact update for constant target over dt.
+        decay = np.exp(-dt / self.tau)
+        new_state = target + (self.state - target) * decay
+        if self.slew_rate is not None:
+            max_delta = self.slew_rate * dt
+            delta = np.clip(new_state - self.state, -max_delta, max_delta)
+            new_state = self.state + delta
+        self.state = float(min(max(new_state, self.rails[0]), self.rails[1]))
+        return self.state
+
+
+# -- convenience builders -------------------------------------------------------
+def comparator(name: str, in_plus: str, in_minus: str, output: str,
+               gain: float = 2000.0, vdd: float = 1.0,
+               tau: float = 2e-9, slew_rate: float | None = 2e9
+               ) -> BehavioralSource:
+    """Open-loop op-amp used as a comparator (paper Fig. 6).
+
+    Output ≈ ``vdd * sigmoid(gain * (v+ - v-))`` with finite bandwidth —
+    reproducing the non-ideal (slow-edged) comparator output the paper
+    shows in yellow in Fig. 7(b).
+    """
+
+    def transfer(v_plus: float, v_minus: float) -> float:
+        x = gain * (v_plus - v_minus) / vdd
+        return vdd / (1.0 + np.exp(-np.clip(4.0 * x, -60.0, 60.0)))
+
+    return BehavioralSource(name, output, (in_plus, in_minus), transfer,
+                            tau=tau, rails=(0.0, vdd), slew_rate=slew_rate)
+
+
+def summing_amp(name: str, in_node: str, output: str, offset: float,
+                gain: float = 1.0, vdd: float = 1.0,
+                tau: float = 1e-9) -> BehavioralSource:
+    """Unity-gain summing amplifier: ``out = gain*in + offset`` (clipped).
+
+    Implements the paper's bias op-amp that offsets the feedback ``h(t)``
+    by the threshold bias ``Vth``.  The output starts at the offset (its
+    zero-input operating point).
+    """
+
+    def transfer(v_in: float) -> float:
+        return gain * v_in + offset
+
+    return BehavioralSource(name, output, (in_node,), transfer,
+                            tau=tau, rails=(0.0, vdd), initial=offset)
+
+
+def inverter(name: str, in_node: str, output: str, vdd: float = 1.0,
+             switch_point: float = 0.5, gain: float = 40.0,
+             tau: float = 0.6e-9,
+             initial: float | None = None) -> BehavioralSource:
+    """CMOS inverter (behavioral): sharp inverting transfer around
+    ``switch_point`` with a fast output stage — two in series restore the
+    comparator output to ideal rail-to-rail spikes (paper Fig. 7(b),
+    dashed green).
+
+    ``initial`` sets the output's starting level; default assumes a low
+    input at t=0 (output starts at VDD).  Pass 0 for the second inverter
+    of a buffer pair.
+    """
+
+    def transfer(v_in: float) -> float:
+        x = gain * (switch_point - v_in) / vdd
+        return vdd / (1.0 + np.exp(-np.clip(4.0 * x, -60.0, 60.0)))
+
+    return BehavioralSource(name, output, (in_node,), transfer,
+                            tau=tau, rails=(0.0, vdd),
+                            initial=vdd if initial is None else initial)

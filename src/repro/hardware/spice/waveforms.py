@@ -1,0 +1,137 @@
+"""Waveform builders and trace measurements for the analog simulator."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...common.errors import CircuitError
+
+__all__ = [
+    "constant",
+    "pwl",
+    "pulse_train",
+    "rising_crossings",
+    "falling_crossings",
+    "count_pulses",
+    "trace_stats",
+]
+
+
+def constant(value: float):
+    """Waveform: a constant voltage."""
+    value = float(value)
+
+    def wave(t: float) -> float:
+        return value
+
+    return wave
+
+
+def pwl(points: Sequence[tuple[float, float]]):
+    """Piece-wise-linear waveform through ``(time, value)`` points.
+
+    Holds the first value before the first point and the last value after
+    the last point.  Times must be strictly increasing.
+    """
+    if not points:
+        raise CircuitError("pwl needs at least one point")
+    times = np.array([p[0] for p in points], dtype=float)
+    values = np.array([p[1] for p in points], dtype=float)
+    if np.any(np.diff(times) <= 0):
+        raise CircuitError("pwl times must be strictly increasing")
+
+    def wave(t: float) -> float:
+        return float(np.interp(t, times, values))
+
+    return wave
+
+
+def pulse_train(spike_times: Sequence[float], width: float,
+                amplitude: float = 1.0, base: float = 0.0,
+                edge_fraction: float = 0.1):
+    """Rectangular pulses (with finite edges) at the given start times.
+
+    This models the input spike train of the paper's circuit experiment:
+    10 ns-wide voltage pulses at the word-line.
+
+    Parameters
+    ----------
+    spike_times:
+        Pulse start times (seconds).
+    width:
+        Pulse width (seconds).
+    amplitude, base:
+        High and low levels (volts).
+    edge_fraction:
+        Rise/fall time as a fraction of the width (keeps the PWL finite).
+    """
+    if width <= 0:
+        raise CircuitError(f"width must be positive, got {width}")
+    if not 0.0 < edge_fraction < 0.5:
+        raise CircuitError("edge_fraction must be in (0, 0.5)")
+    starts = sorted(float(t) for t in spike_times)
+    for a, b in zip(starts, starts[1:]):
+        if b - a < width:
+            raise CircuitError(
+                f"pulses at {a:g}s and {b:g}s overlap (width {width:g}s)"
+            )
+    edge = width * edge_fraction
+
+    def wave(t: float) -> float:
+        for start in starts:
+            local = t - start
+            if local < -0.0:
+                continue
+            if 0.0 <= local < edge:
+                return base + (amplitude - base) * (local / edge)
+            if edge <= local < width - edge:
+                return amplitude
+            if width - edge <= local < width:
+                return base + (amplitude - base) * ((width - local) / edge)
+        return base
+
+    return wave
+
+
+def rising_crossings(time: np.ndarray, trace: np.ndarray,
+                     level: float) -> np.ndarray:
+    """Times where ``trace`` crosses ``level`` upward (linear interp)."""
+    time = np.asarray(time, dtype=float)
+    trace = np.asarray(trace, dtype=float)
+    if time.shape != trace.shape:
+        raise CircuitError("time and trace must have the same shape")
+    below = trace[:-1] < level
+    above = trace[1:] >= level
+    indices = np.flatnonzero(below & above)
+    crossings = []
+    for i in indices:
+        frac = (level - trace[i]) / (trace[i + 1] - trace[i])
+        crossings.append(time[i] + frac * (time[i + 1] - time[i]))
+    return np.asarray(crossings)
+
+
+def falling_crossings(time: np.ndarray, trace: np.ndarray,
+                      level: float) -> np.ndarray:
+    """Times where ``trace`` crosses ``level`` downward."""
+    return rising_crossings(time, -np.asarray(trace, dtype=float), -level)
+
+
+def count_pulses(time: np.ndarray, trace: np.ndarray,
+                 level: float) -> int:
+    """Number of upward crossings of ``level`` (output spike count)."""
+    return int(len(rising_crossings(time, trace, level)))
+
+
+def trace_stats(trace: np.ndarray) -> dict:
+    """Min / max / mean / peak-to-peak of a waveform."""
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        raise CircuitError("empty trace")
+    return {
+        "min": float(trace.min()),
+        "max": float(trace.max()),
+        "mean": float(trace.mean()),
+        "peak_to_peak": float(trace.max() - trace.min()),
+    }

@@ -1,0 +1,137 @@
+"""Partitioning large weight matrices onto fixed-size crossbar tiles.
+
+A physical RRAM macro has a bounded array size (wire capacitance, sense
+margin and sneak currents limit practical arrays to the order of
+128x128).  The paper's MLP layers are much larger (e.g. 2312x500 for
+N-MNIST), so a real deployment must *tile*: split the weight matrix into
+array-sized blocks, program one crossbar per block, drive row-blocks of
+the input into each tile, and sum partial bit-line results across tile
+columns digitally (or with current mirrors).
+
+:class:`TiledCrossbar` implements exactly that on top of
+:class:`~repro.hardware.crossbar.DifferentialCrossbar`, preserving its
+quantization and process-variation modelling per tile.  Summation across
+tiles is exact (Kirchhoff / digital accumulation), so an ideal tiled
+array must agree with an ideal monolithic one — property-tested in
+``tests/unit/test_hw_tiling.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.errors import ShapeError
+from ..common.rng import RandomState, as_random_state
+from .crossbar import DifferentialCrossbar
+from .devices import RRAMDeviceConfig
+
+__all__ = ["TiledCrossbar"]
+
+
+class TiledCrossbar:
+    """A weight matrix split across fixed-size differential crossbars.
+
+    Parameters
+    ----------
+    weights:
+        Full weight matrix (n_out, n_in).
+    tile_rows, tile_cols:
+        Physical array size: ``tile_rows`` word-lines (inputs) and
+        ``tile_cols`` bit-lines (outputs) per tile.
+    device:
+        RRAM device model applied to every tile.
+    rng:
+        Randomness; each tile draws from an independent child stream (as
+        separate macros would).
+    """
+
+    def __init__(self, weights: np.ndarray, tile_rows: int = 128,
+                 tile_cols: int = 128,
+                 device: RRAMDeviceConfig | None = None,
+                 rng: RandomState | int | None = None):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got {weights.shape}")
+        if tile_rows <= 0 or tile_cols <= 0:
+            raise ValueError("tile dimensions must be positive")
+        self.weights = weights
+        self.tile_rows = int(tile_rows)
+        self.tile_cols = int(tile_cols)
+        self.device = device or RRAMDeviceConfig()
+        root = as_random_state(rng)
+
+        n_out, n_in = weights.shape
+        self.n_row_tiles = math.ceil(n_in / tile_rows)
+        self.n_col_tiles = math.ceil(n_out / tile_cols)
+        self.tiles: list[list[DifferentialCrossbar]] = []
+        for col_tile in range(self.n_col_tiles):
+            row: list[DifferentialCrossbar] = []
+            out_lo = col_tile * tile_cols
+            out_hi = min(out_lo + tile_cols, n_out)
+            for row_tile in range(self.n_row_tiles):
+                in_lo = row_tile * tile_rows
+                in_hi = min(in_lo + tile_rows, n_in)
+                block = weights[out_lo:out_hi, in_lo:in_hi]
+                row.append(DifferentialCrossbar(
+                    block, self.device,
+                    rng=root.child(f"tile-{col_tile}-{row_tile}"),
+                ))
+            self.tiles.append(row)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total physical arrays used (2 devices per weight per tile)."""
+        return self.n_row_tiles * self.n_col_tiles
+
+    def matvec(self, activations: np.ndarray) -> np.ndarray:
+        """Tiled product: per-tile analog dot products + cross-tile sums.
+
+        ``activations`` is (n_in,) or (batch, n_in); returns the same
+        leading shape with n_out columns, in trained-weight units.
+        """
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.shape[-1] != self.weights.shape[1]:
+            raise ShapeError(
+                f"expected {self.weights.shape[1]} inputs, "
+                f"got {activations.shape[-1]}"
+            )
+        squeeze = activations.ndim == 1
+        batch = np.atleast_2d(activations)
+        n_out = self.weights.shape[0]
+        out = np.zeros((batch.shape[0], n_out))
+        for col_tile, row in enumerate(self.tiles):
+            out_lo = col_tile * self.tile_cols
+            out_hi = min(out_lo + self.tile_cols, n_out)
+            acc = np.zeros((batch.shape[0], out_hi - out_lo))
+            for row_tile, tile in enumerate(row):
+                in_lo = row_tile * self.tile_rows
+                in_hi = min(in_lo + self.tile_rows, self.weights.shape[1])
+                acc += tile.matvec(batch[:, in_lo:in_hi])
+            out[:, out_lo:out_hi] = acc
+        return out[0] if squeeze else out
+
+    def effective_weights(self) -> np.ndarray:
+        """Achieved full weight matrix stitched back from all tiles."""
+        n_out, n_in = self.weights.shape
+        stitched = np.zeros((n_out, n_in))
+        for col_tile, row in enumerate(self.tiles):
+            out_lo = col_tile * self.tile_cols
+            for row_tile, tile in enumerate(row):
+                in_lo = row_tile * self.tile_rows
+                block = tile.effective_weights()
+                stitched[out_lo:out_lo + block.shape[0],
+                         in_lo:in_lo + block.shape[1]] = block
+        return stitched
+
+    def utilisation(self) -> float:
+        """Fraction of allocated device pairs holding real weights."""
+        allocated = self.n_tiles * self.tile_rows * self.tile_cols
+        return float(self.weights.size) / float(allocated)
+
+    def __repr__(self) -> str:
+        return (f"TiledCrossbar({self.weights.shape[0]}x"
+                f"{self.weights.shape[1]} on {self.n_col_tiles}x"
+                f"{self.n_row_tiles} tiles of {self.tile_cols}x"
+                f"{self.tile_rows})")

@@ -1,0 +1,58 @@
+"""Integration: the Section V-B pattern-association task end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import trace_correlation
+from repro.core import SpikingNetwork, Trainer, TrainerConfig, VanRossumLoss
+from repro.core.calibration import calibrate_firing
+from repro.data import AssociationConfig, generate_association
+
+
+@pytest.fixture(scope="module")
+def association_setup():
+    config = AssociationConfig(n_samples=60, steps=60, target_trains=48,
+                               glyph_size=32, input_channels=128)
+    dataset = generate_association(config, rng=0)
+    network = SpikingNetwork((128, 96, 48), rng=1)
+    calibrate_firing(network, dataset.inputs[:16], target_rate=0.1)
+    loss = VanRossumLoss()
+    trainer = Trainer(network, loss, TrainerConfig(
+        epochs=40, batch_size=20, learning_rate=3e-3), rng=2)
+    before = trainer.evaluate(dataset.inputs, dataset.targets)["van_rossum"]
+    trainer.fit(dataset.inputs, dataset.targets)
+    after = trainer.evaluate(dataset.inputs, dataset.targets)["van_rossum"]
+    return dataset, network, before, after
+
+
+class TestAssociation:
+    def test_distance_decreases_substantially(self, association_setup):
+        _, _, before, after = association_setup
+        assert after < 0.8 * before
+
+    def test_outputs_correlate_with_own_targets(self, association_setup):
+        """Identity check: each output matches its own target better than a
+        shuffled pairing (scale-free version of the Fig. 5 visual check)."""
+        dataset, network, _, _ = association_setup
+        outputs, _ = network.run(dataset.inputs[:12])
+        own = np.mean([
+            trace_correlation(outputs[i], dataset.targets[i])
+            for i in range(12)
+        ])
+        cross = np.mean([
+            trace_correlation(outputs[i], dataset.targets[(i + 5) % 12])
+            for i in range(12)
+        ])
+        assert own > 0.0
+        assert own > cross
+
+    def test_output_is_spatiotemporal_not_constant(self, association_setup):
+        """The trained output must vary across time and trains (it draws a
+        glyph, not a constant rate pattern)."""
+        dataset, network, _, _ = association_setup
+        outputs, _ = network.run(dataset.inputs[:4])
+        for i in range(4):
+            per_step = outputs[i].sum(axis=1)
+            per_train = outputs[i].sum(axis=0)
+            assert per_step.std() > 0.0
+            assert per_train.std() > 0.0

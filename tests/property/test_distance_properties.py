@@ -1,0 +1,106 @@
+"""Property tests for spike-train distances (metric axioms) and the data
+generators (determinism, shape contracts)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import van_rossum_distance, victor_purpura_distance
+from repro.core.loss import VanRossumLoss
+from repro.data.glyphs import render_digit
+
+spike_trains = hnp.arrays(
+    dtype=np.float64, shape=st.integers(min_value=2, max_value=40),
+    elements=st.sampled_from([0.0, 1.0]),
+)
+
+
+@given(a=spike_trains)
+@settings(max_examples=60, deadline=None)
+def test_van_rossum_identity(a):
+    assert van_rossum_distance(a, a) == 0.0
+
+
+@given(a=spike_trains, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_van_rossum_symmetry_and_nonnegativity(a, seed):
+    rng = np.random.default_rng(seed)
+    b = (rng.random(a.shape) < 0.3).astype(float)
+    d_ab = van_rossum_distance(a, b)
+    d_ba = van_rossum_distance(b, a)
+    assert d_ab >= 0.0
+    np.testing.assert_allclose(d_ab, d_ba, rtol=1e-12)
+
+
+@given(a=spike_trains, seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_van_rossum_discriminates(a, seed):
+    """Flipping one non-final bin must give a strictly positive distance.
+
+    (A flip in the *final* bin is invisible: the paper's kernel has
+    f[0] = 0, so a spike needs at least one later step to influence the
+    trace — an intentional property of eq. 15's biphasic kernel.)
+    """
+    rng = np.random.default_rng(seed)
+    index = int(rng.integers(0, a.shape[0] - 1))
+    b = a.copy()
+    b[index] = 1.0 - b[index]
+    assert van_rossum_distance(a, b) > 0.0
+
+
+@given(a=spike_trains, seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_victor_purpura_axioms(a, seed):
+    rng = np.random.default_rng(seed)
+    b = (rng.random(a.shape) < 0.3).astype(float)
+    assert victor_purpura_distance(a, a) == 0.0
+    d_ab = victor_purpura_distance(a, b)
+    assert d_ab >= 0.0
+    np.testing.assert_allclose(d_ab, victor_purpura_distance(b, a),
+                               rtol=1e-9)
+
+
+@given(a=spike_trains, seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_victor_purpura_triangle_inequality(a, seed):
+    rng = np.random.default_rng(seed)
+    b = (rng.random(a.shape) < 0.3).astype(float)
+    c = (rng.random(a.shape) < 0.3).astype(float)
+    d_ac = victor_purpura_distance(a, c)
+    d_ab = victor_purpura_distance(a, b)
+    d_bc = victor_purpura_distance(b, c)
+    assert d_ac <= d_ab + d_bc + 1e-9
+
+
+@given(
+    batch=st.integers(min_value=1, max_value=4),
+    steps=st.integers(min_value=2, max_value=20),
+    trains=st.integers(min_value=1, max_value=5),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_van_rossum_loss_gradient_descends(batch, steps, trains, seed):
+    """A small step against the gradient must not increase the loss
+    (first-order descent property on the smooth loss surface)."""
+    rng = np.random.default_rng(seed)
+    outputs = rng.random((batch, steps, trains))
+    targets = (rng.random((batch, steps, trains)) < 0.3).astype(float)
+    loss = VanRossumLoss()
+    value, grad = loss.value_and_grad(outputs, targets)
+    stepped = outputs - 1e-4 * grad
+    new_value, _ = loss.value_and_grad(stepped, targets)
+    assert new_value <= value + 1e-12
+
+
+@given(digit=st.integers(min_value=0, max_value=9),
+       seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_glyphs_always_renderable(digit, seed):
+    """Any digit with any jitter seed renders to a non-empty, in-range
+    image (no geometry blowups from the random affine)."""
+    image = render_digit(digit, size=28, rng=seed)
+    assert image.shape == (28, 28)
+    assert 0.0 <= image.min()
+    assert image.max() <= 1.0
+    assert image.sum() > 5.0

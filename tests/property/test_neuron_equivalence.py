@@ -1,0 +1,110 @@
+"""Property tests for the neuron-model equivalences claimed in Section II.
+
+Two load-bearing identities:
+
+1. **Adaptive-threshold form == reset-charge form** (eq. 6+10 vs eq. 12):
+   comparing ``v = g - theta*h`` against ``Vth`` must produce exactly the
+   same spikes as comparing ``g`` against ``Vth + theta*h``.
+
+2. **Sub-threshold equivalence of the two neuron models**: without any
+   spikes, the hard-reset membrane is exactly the exponential filter of
+   the drive, i.e. the adaptive model's PSP.  (This makes the paper's
+   weight-preserving neuron swap meaningful.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import decay_from_tau, exponential_filter
+from repro.core.neurons import (
+    AdaptiveLIFNeuron,
+    HardResetLIFNeuron,
+    NeuronParameters,
+)
+
+
+def drive_strategy():
+    return st.lists(
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        min_size=1, max_size=40,
+    )
+
+
+@given(
+    drive=drive_strategy(),
+    theta=st.floats(min_value=0.0, max_value=3.0),
+    tau_r=st.floats(min_value=0.5, max_value=20.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_reset_charge_equals_adaptive_threshold(drive, theta, tau_r):
+    params = NeuronParameters(theta=theta, tau_r=tau_r)
+    neuron = AdaptiveLIFNeuron(1, params)
+    neuron.reset_state(1)
+    beta = decay_from_tau(tau_r)
+    h = 0.0
+    last_out = 0.0
+    for g_value in drive:
+        g = np.array([[g_value]])
+        # Manual eq. 12: threshold comparison.
+        h = beta * h + last_out
+        expected = 1.0 if g_value >= params.v_th + theta * h else 0.0
+        spikes, v = neuron.step(g)
+        assert spikes[0, 0] == expected
+        # And eq. 6's membrane identity.
+        assert v[0, 0] == np.float64(g_value - theta * h)
+        last_out = expected
+
+
+@given(drive=drive_strategy(), tau=st.floats(min_value=0.5, max_value=20.0))
+@settings(max_examples=80, deadline=None)
+def test_hard_reset_subthreshold_is_exponential_filter(drive, tau):
+    params = NeuronParameters(tau=tau, v_th=1e12)     # never fires
+    neuron = HardResetLIFNeuron(1, params)
+    neuron.reset_state(1)
+    vs = []
+    for j in drive:
+        _, v = neuron.step(np.array([[j]]))
+        vs.append(v[0, 0])
+    expected = exponential_filter(np.asarray(drive), neuron.alpha)
+    np.testing.assert_allclose(vs, expected, rtol=1e-10, atol=1e-12)
+
+
+@given(drive=drive_strategy())
+@settings(max_examples=60, deadline=None)
+def test_hard_reset_membrane_never_exceeds_unreset_psp(drive):
+    """Resetting only ever removes accumulated potential: the HR membrane
+    is pointwise <= the never-reset PSP for non-negative drive."""
+    params = NeuronParameters()
+    neuron = HardResetLIFNeuron(1, params)
+    neuron.reset_state(1)
+    psp = exponential_filter(np.asarray(drive), neuron.alpha)
+    for j, unreset in zip(drive, psp):
+        _, v = neuron.step(np.array([[j]]))
+        assert v[0, 0] <= unreset + 1e-9
+
+
+@given(
+    drive=drive_strategy(),
+    theta=st.floats(min_value=0.1, max_value=2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_adaptive_threshold_never_below_base(drive, theta):
+    """theta*h >= 0 always: the effective threshold can only rise above
+    Vth, never fall below it (h is a filtered spike count)."""
+    params = NeuronParameters(theta=theta)
+    neuron = AdaptiveLIFNeuron(1, params)
+    neuron.reset_state(1)
+    for j in drive:
+        neuron.step(np.array([[j]]))
+        assert neuron.adaptive_threshold()[0, 0] >= params.v_th - 1e-12
+
+
+@given(drive=drive_strategy())
+@settings(max_examples=60, deadline=None)
+def test_spikes_are_binary(drive):
+    neuron = AdaptiveLIFNeuron(1)
+    neuron.reset_state(1)
+    for j in drive:
+        spikes, _ = neuron.step(np.array([[j]]))
+        assert spikes[0, 0] in (0.0, 1.0)

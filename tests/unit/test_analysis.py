@@ -1,0 +1,218 @@
+"""Unit tests for repro.analysis (metrics, distances, rasters)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy,
+    active_fraction,
+    coincidence_factor,
+    confusion_matrix,
+    dense_to_events,
+    events_to_dense,
+    firing_rate,
+    flatten_dvs,
+    pairwise_van_rossum,
+    per_class_accuracy,
+    raster_summary,
+    spike_count_histogram,
+    trace_correlation,
+    unflatten_dvs,
+    van_rossum_distance,
+    victor_purpura_distance,
+)
+from repro.common.errors import ShapeError
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == \
+            pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, n_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_per_class_accuracy(self):
+        predictions = np.array([0, 1, 0, 2])
+        labels = np.array([0, 1, 1, 2])
+        per_class = per_class_accuracy(predictions, labels, n_classes=4)
+        assert per_class[0] == 1.0
+        assert per_class[1] == 0.5
+        assert per_class[2] == 1.0
+        assert np.isnan(per_class[3])      # class absent
+
+    def test_firing_rate_and_active_fraction(self):
+        spikes = np.zeros((2, 10, 4))
+        spikes[0, :, 0] = 1.0
+        assert firing_rate(spikes) == pytest.approx(10 / 80)
+        assert active_fraction(spikes) == pytest.approx(1 / 8)
+
+    def test_spike_count_histogram(self):
+        spikes = np.zeros((1, 5, 3))
+        spikes[0, :, 1] = 1.0
+        counts, edges = spike_count_histogram(spikes, bins=5)
+        assert counts.sum() == 3
+        assert len(edges) == 6
+
+
+class TestVanRossumDistance:
+    def test_identity(self):
+        rng = np.random.default_rng(0)
+        a = (rng.random((30, 3)) < 0.2).astype(float)
+        assert van_rossum_distance(a, a) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = (rng.random((25,)) < 0.2).astype(float)
+        b = (rng.random((25,)) < 0.2).astype(float)
+        assert van_rossum_distance(a, b) == pytest.approx(
+            van_rossum_distance(b, a))
+
+    def test_monotone_in_offset(self):
+        base = np.zeros(50)
+        base[10] = 1.0
+        distances = []
+        for offset in (2, 5, 10, 20):
+            other = np.zeros(50)
+            other[10 + offset] = 1.0
+            distances.append(van_rossum_distance(base, other))
+        assert distances == sorted(distances)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            van_rossum_distance(np.zeros(10), np.zeros(12))
+
+    def test_pairwise_matrix(self):
+        rng = np.random.default_rng(2)
+        rasters = (rng.random((4, 20, 2)) < 0.2).astype(float)
+        matrix = pairwise_van_rossum(rasters)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        # Off-diagonal entries match the scalar function.
+        expected = van_rossum_distance(rasters[0].reshape(20, 2),
+                                       rasters[1].reshape(20, 2))
+        assert matrix[0, 1] == pytest.approx(expected * 1.0, rel=1e-9)
+
+
+class TestVictorPurpura:
+    def test_identical_is_zero(self):
+        train = np.zeros(20)
+        train[[3, 8, 15]] = 1.0
+        assert victor_purpura_distance(train, train) == 0.0
+
+    def test_insert_delete_cost(self):
+        a = np.zeros(20)
+        a[5] = 1.0
+        b = np.zeros(20)
+        assert victor_purpura_distance(a, b) == 1.0     # delete one spike
+
+    def test_shift_cheaper_than_delete_insert(self):
+        a = np.zeros(20)
+        a[5] = 1.0
+        b = np.zeros(20)
+        b[6] = 1.0
+        # Shift by 1 costs 0.5*1 < 2 (delete + insert).
+        assert victor_purpura_distance(a, b, cost=0.5) == pytest.approx(0.5)
+
+    def test_far_shift_capped_by_two(self):
+        a = np.zeros(50)
+        a[2] = 1.0
+        b = np.zeros(50)
+        b[48] = 1.0
+        assert victor_purpura_distance(a, b, cost=0.5) == pytest.approx(2.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            victor_purpura_distance(np.zeros(5), np.zeros(5), cost=-1.0)
+
+
+class TestCoincidenceFactor:
+    def test_identical_trains(self):
+        train = np.zeros(40)
+        train[[5, 15, 30]] = 1.0
+        assert coincidence_factor(train, train) == pytest.approx(1.0, abs=0.3)
+
+    def test_empty_pair(self):
+        assert coincidence_factor(np.zeros(10), np.zeros(10)) == 1.0
+
+    def test_one_empty(self):
+        a = np.zeros(10)
+        a[3] = 1.0
+        assert coincidence_factor(a, np.zeros(10)) == 0.0
+
+    def test_uncorrelated_near_zero(self):
+        rng = np.random.default_rng(3)
+        gammas = []
+        for _ in range(30):
+            a = (rng.random(200) < 0.1).astype(float)
+            b = (rng.random(200) < 0.1).astype(float)
+            gammas.append(coincidence_factor(a, b))
+        assert abs(np.mean(gammas)) < 0.2
+
+
+class TestTraceCorrelation:
+    def test_perfect_correlation(self):
+        rng = np.random.default_rng(4)
+        a = (rng.random((30, 2)) < 0.3).astype(float)
+        assert trace_correlation(a, a) == pytest.approx(1.0)
+
+    def test_silent_trace_returns_zero(self):
+        a = np.zeros((20, 2))
+        b = np.ones((20, 2))
+        assert trace_correlation(a, b) == 0.0
+
+
+class TestRasterConversions:
+    def test_events_dense_roundtrip(self):
+        events = np.array([[0, 1], [3, 2], [3, 2], [9, 0]])
+        dense = events_to_dense(events, steps=10, channels=3)
+        assert dense[3, 2] == 2.0
+        back = dense_to_events(dense)
+        np.testing.assert_array_equal(np.sort(back, axis=0),
+                                      np.sort(events, axis=0))
+
+    def test_events_bounds_checked(self):
+        with pytest.raises(ShapeError):
+            events_to_dense(np.array([[10, 0]]), steps=10, channels=3)
+        with pytest.raises(ShapeError):
+            events_to_dense(np.array([[0, 5]]), steps=10, channels=3)
+
+    def test_empty_events(self):
+        dense = events_to_dense(np.zeros((0, 2)), steps=5, channels=2)
+        assert dense.sum() == 0
+
+    def test_raster_summary(self):
+        raster = np.zeros((10, 4))
+        raster[2, 1] = 1.0
+        raster[7, 1] = 1.0
+        summary = raster_summary(raster)
+        assert summary["total_spikes"] == 2
+        assert summary["active_channels"] == 1
+        assert summary["first_spike_step"] == 2
+
+    def test_dvs_flatten_roundtrip(self):
+        rng = np.random.default_rng(5)
+        events = (rng.random((6, 34, 34, 2)) < 0.05).astype(float)
+        flat = flatten_dvs(events)
+        assert flat.shape == (6, 2312)
+        np.testing.assert_array_equal(unflatten_dvs(flat), events)
+
+    def test_dvs_flatten_validates(self):
+        with pytest.raises(ShapeError):
+            flatten_dvs(np.zeros((6, 20, 34, 2)))
+        with pytest.raises(ShapeError):
+            unflatten_dvs(np.zeros((6, 100)))

@@ -1,0 +1,167 @@
+"""Unit tests for repro.common: rng, config, units, tables, errors."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    BaseConfig,
+    ConfigError,
+    ShapeError,
+    RandomState,
+    Table,
+    as_random_state,
+    check_shape,
+    format_table,
+    si_format,
+)
+
+
+class TestRandomState:
+    def test_deterministic(self):
+        a = RandomState(5).normal(size=10)
+        b = RandomState(5).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_independent_of_parent_stream(self):
+        root = RandomState(1)
+        child_before = root.child("x").normal()
+        root.normal(size=100)                 # advance the parent
+        child_after = RandomState(1).child("x").normal()
+        assert child_before == child_after
+
+    def test_children_by_name_differ(self):
+        root = RandomState(1)
+        assert root.child("a").normal() != root.child("b").normal()
+
+    def test_child_reproducible_across_processes(self):
+        """Hash must not depend on PYTHONHASHSEED — fixed expectation."""
+        v1 = RandomState(42).child("weights").integers(0, 1000)
+        v2 = RandomState(42).child("weights").integers(0, 1000)
+        assert int(v1) == int(v2)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomState(-1)
+
+    def test_as_random_state(self):
+        assert as_random_state(None).seed == 0
+        assert as_random_state(7).seed == 7
+        rs = RandomState(3)
+        assert as_random_state(rs) is rs
+        with pytest.raises(TypeError):
+            as_random_state("seed")
+
+    def test_delegated_methods(self):
+        rs = RandomState(0)
+        assert rs.integers(0, 10) in range(10)
+        assert 0.0 <= rs.random() < 1.0
+        assert rs.choice([1, 2, 3]) in (1, 2, 3)
+        assert rs.lognormal() > 0
+        perm = rs.permutation(5)
+        assert sorted(perm.tolist()) == [0, 1, 2, 3, 4]
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoConfig(BaseConfig):
+    size: int = 4
+    rate: float = 0.5
+    name: str = "demo"
+    shape: tuple = (2, 3)
+
+    def validate(self):
+        self.require_positive("size")
+        self.require_in_range("rate", 0.0, 1.0)
+
+
+class TestBaseConfig:
+    def test_validation_runs_on_init(self):
+        with pytest.raises(ConfigError):
+            DemoConfig(size=-1)
+        with pytest.raises(ConfigError):
+            DemoConfig(rate=2.0)
+
+    def test_replace_revalidates(self):
+        config = DemoConfig()
+        assert config.replace(size=8).size == 8
+        with pytest.raises(ConfigError):
+            config.replace(size=0)
+
+    def test_dict_roundtrip(self):
+        config = DemoConfig(size=7, rate=0.25)
+        assert DemoConfig.from_dict(config.to_dict()) == config
+
+    def test_tuple_restored_from_list(self):
+        config = DemoConfig()
+        data = config.to_dict()
+        assert data["shape"] == [2, 3]
+        restored = DemoConfig.from_dict(data)
+        assert restored.shape == (2, 3)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config keys"):
+            DemoConfig.from_dict({"bogus": 1})
+
+    def test_json_roundtrip(self):
+        config = DemoConfig(size=2)
+        assert DemoConfig.from_json(config.to_json()) == config
+
+
+class TestCheckShape:
+    def test_accepts_wildcards(self):
+        check_shape(np.zeros((5, 7)), (None, 7), "x")
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            check_shape(np.zeros((5,)), (None, 7), "x")
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ShapeError, match="axis 1"):
+            check_shape(np.zeros((5, 6)), (None, 7), "x")
+
+
+class TestSiFormat:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (3.329e-9, "J", "3.329 nJ"),
+        (1.11e-3, "W", "1.11 mW"),
+        (4.56e3, "Ohm", "4.56 kOhm"),
+        (10.14e-12, "F", "10.14 pF"),
+        (0.0, "V", "0 V"),
+        (2.0, "s", "2 s"),
+    ])
+    def test_formatting(self, value, unit, expected):
+        assert si_format(value, unit) == expected
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        table = Table(["Model", "Acc"], title="T")
+        table.add_row(["adaptive", 98.4])
+        table.add_row(["hr", 26.36])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Model" in lines[1]
+        assert all("|" in line for line in lines[3:])
+
+    def test_row_width_validation(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_separator(self):
+        table = Table(["abc"])
+        table.add_row([1])
+        table.add_separator()
+        table.add_row([2])
+        # Header rule plus the explicit separator rule.
+        assert table.render().count("---") >= 2
+
+    def test_format_table_helper(self):
+        text = format_table(["x"], [[1], [2]])
+        assert "1" in text and "2" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])

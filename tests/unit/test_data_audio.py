@@ -1,0 +1,148 @@
+"""Unit tests for the speech synthesizer and cochlea encoder."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.data.cochlea import Cochlea, CochleaConfig, mel_frequencies
+from repro.data.speech import LANGUAGES, WORDS, segment_table, synthesize_digit
+
+
+class TestSpeech:
+    def test_inventory_complete(self):
+        assert len(WORDS) == 20
+        for language in LANGUAGES:
+            for digit in range(10):
+                assert (language, digit) in WORDS
+
+    def test_waveform_basic_properties(self):
+        wave = synthesize_digit("english", 3, rng=0)
+        assert wave.ndim == 1
+        assert len(wave) > 1000
+        assert np.max(np.abs(wave)) <= 1.0
+        assert np.max(np.abs(wave)) > 0.5      # normalised near 0.9
+
+    def test_deterministic(self):
+        a = synthesize_digit("german", 7, rng=4)
+        b = synthesize_digit("german", 7, rng=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_speaker_variability(self):
+        a = synthesize_digit("english", 1, rng=1)
+        b = synthesize_digit("english", 1, rng=2)
+        assert len(a) != len(b) or not np.allclose(a, b)
+
+    def test_unknown_word(self):
+        with pytest.raises(DatasetError):
+            synthesize_digit("french", 1)
+        with pytest.raises(DatasetError):
+            segment_table("english", 11)
+
+    def test_fade_in_out(self):
+        wave = synthesize_digit("english", 8, rng=0)
+        assert abs(wave[0]) < 0.05
+        assert abs(wave[-1]) < 0.05
+
+    def test_words_are_acoustically_distinct(self):
+        """Spectral envelopes of different digits should differ."""
+        def spectrum(wave):
+            mag = np.abs(np.fft.rfft(wave, n=4096))
+            return mag / (np.linalg.norm(mag) + 1e-12)
+
+        s2 = spectrum(synthesize_digit("english", 2, rng=0))
+        s6 = spectrum(synthesize_digit("english", 6, rng=0))
+        assert np.dot(s2, s6) < 0.98
+
+
+class TestMelFrequencies:
+    def test_monotone_and_in_range(self):
+        freqs = mel_frequencies(700, 60.0, 3800.0)
+        assert len(freqs) == 700
+        assert np.all(np.diff(freqs) > 0)
+        assert freqs[0] == pytest.approx(60.0, rel=1e-6)
+        assert freqs[-1] == pytest.approx(3800.0, rel=1e-6)
+
+    def test_mel_spacing_denser_at_low_freqs(self):
+        freqs = mel_frequencies(100, 60.0, 3800.0)
+        assert (freqs[1] - freqs[0]) < (freqs[-1] - freqs[-2])
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            mel_frequencies(0, 60, 3800)
+        with pytest.raises(DatasetError):
+            mel_frequencies(10, 500, 100)
+
+
+class TestCochlea:
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            CochleaConfig(f_max=5000.0, sample_rate=8000)  # above Nyquist
+        with pytest.raises(Exception):
+            CochleaConfig(compression="gamma")
+        with pytest.raises(Exception):
+            CochleaConfig(hop_length=512, frame_length=256)
+
+    def test_cochleagram_shape(self):
+        cochlea = Cochlea(CochleaConfig(n_channels=64))
+        wave = synthesize_digit("english", 0, rng=0)
+        gram = cochlea.cochleagram(wave)
+        assert gram.shape[1] == 64
+        assert gram.shape[0] > 10
+        assert np.all(gram >= 0)
+
+    def test_tone_activates_matching_channels(self):
+        """A pure tone should concentrate energy near its frequency."""
+        config = CochleaConfig(n_channels=64)
+        cochlea = Cochlea(config)
+        t = np.arange(4000) / config.sample_rate
+        tone = np.sin(2 * np.pi * 1000.0 * t)
+        gram = cochlea.cochleagram(tone)
+        profile = gram.mean(axis=0)
+        peak_channel = int(np.argmax(profile))
+        peak_freq = cochlea.centres[peak_channel]
+        assert 800.0 < peak_freq < 1250.0
+
+    def test_encode_shape_and_sparsity(self):
+        cochlea = Cochlea(CochleaConfig(n_channels=128))
+        wave = synthesize_digit("german", 4, rng=0)
+        spikes = cochlea.encode(wave, steps=100, rng=0)
+        assert spikes.shape == (100, 128)
+        density = spikes.mean()
+        assert 0.001 < density < 0.3        # sparse but not silent
+
+    def test_encode_max_spikes_respected(self):
+        config = CochleaConfig(n_channels=32, max_spikes=1)
+        cochlea = Cochlea(config)
+        wave = synthesize_digit("english", 5, rng=0)
+        spikes = cochlea.encode(wave, steps=80, rng=0)
+        assert spikes.max() <= 1.0
+
+    def test_silence_produces_no_spikes(self):
+        cochlea = Cochlea(CochleaConfig(n_channels=32))
+        spikes = cochlea.encode(np.zeros(4000), steps=50, rng=0)
+        assert spikes.sum() == 0
+
+    def test_encode_deterministic_without_jitter(self):
+        cochlea = Cochlea(CochleaConfig(n_channels=32))
+        wave = synthesize_digit("english", 9, rng=0)
+        a = cochlea.encode(wave, steps=60, gain_jitter=0.0)
+        b = cochlea.encode(wave, steps=60, gain_jitter=0.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_inputs(self):
+        cochlea = Cochlea(CochleaConfig(n_channels=16))
+        with pytest.raises(DatasetError):
+            cochlea.encode(np.zeros((10, 2)), steps=5)
+        with pytest.raises(DatasetError):
+            cochlea.encode(np.zeros(100), steps=0)
+
+    def test_onset_emphasis(self):
+        """With adaptation on, a sustained tone fires mostly at onset."""
+        config = CochleaConfig(n_channels=64, adaptation=0.85)
+        cochlea = Cochlea(config)
+        t = np.arange(8000) / config.sample_rate
+        tone = np.sin(2 * np.pi * 800.0 * t)
+        spikes = cochlea.encode(tone, steps=200, rng=0, gain_jitter=0.0)
+        first_half = spikes[:100].sum()
+        second_half = spikes[100:].sum()
+        assert first_half > 2 * second_half

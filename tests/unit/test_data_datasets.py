@@ -1,0 +1,180 @@
+"""Unit tests for SpikeDataset and the three dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.data import (
+    AssociationConfig,
+    SpikeDataset,
+    SyntheticNMNISTConfig,
+    SyntheticSHDConfig,
+    generate_association,
+    generate_nmnist,
+    generate_shd,
+    glyph_to_target,
+)
+from repro.data.glyphs import render_digit
+
+
+@pytest.fixture(scope="module")
+def tiny_nmnist():
+    return generate_nmnist(SyntheticNMNISTConfig(n_per_class=2, steps=24),
+                           rng=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_shd():
+    return generate_shd(SyntheticSHDConfig(n_per_class=1, steps=60,
+                                           n_channels=128), rng=0)
+
+
+class TestSpikeDataset:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            SpikeDataset(np.zeros((3, 4)), np.zeros(3))         # not 3-D
+        with pytest.raises(DatasetError):
+            SpikeDataset(np.zeros((3, 4, 2)), np.zeros(5))      # misaligned
+        with pytest.raises(DatasetError):
+            SpikeDataset(np.zeros((3, 4, 2)), np.zeros((3, 2)))  # bad rank
+
+    def test_split_deterministic_and_disjoint(self, tiny_nmnist):
+        train1, test1 = tiny_nmnist.split(0.75, rng=1)
+        train2, test2 = tiny_nmnist.split(0.75, rng=1)
+        np.testing.assert_array_equal(train1.inputs, train2.inputs)
+        assert len(train1) + len(test1) == len(tiny_nmnist)
+        assert len(train1) == round(0.75 * len(tiny_nmnist))
+
+    def test_split_bad_fraction(self, tiny_nmnist):
+        with pytest.raises(DatasetError):
+            tiny_nmnist.split(0.0)
+        with pytest.raises(DatasetError):
+            tiny_nmnist.split(1.0)
+
+    def test_batches_cover_everything(self, tiny_nmnist):
+        seen = 0
+        for x, y in tiny_nmnist.batches(batch_size=7):
+            assert x.shape[0] == y.shape[0]
+            seen += x.shape[0]
+        assert seen == len(tiny_nmnist)
+
+    def test_batches_shuffle(self, tiny_nmnist):
+        plain = np.concatenate(
+            [y for _, y in tiny_nmnist.batches(4)])
+        shuffled = np.concatenate(
+            [y for _, y in tiny_nmnist.batches(4, shuffle=True, rng=3)])
+        assert not np.array_equal(plain, shuffled)
+        np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_save_load_roundtrip(self, tiny_nmnist, tmp_path):
+        path = str(tmp_path / "ds")
+        tiny_nmnist.save(path)
+        loaded = SpikeDataset.load(path)
+        np.testing.assert_array_equal(loaded.inputs, tiny_nmnist.inputs)
+        np.testing.assert_array_equal(loaded.targets, tiny_nmnist.targets)
+        assert loaded.class_names == tiny_nmnist.class_names
+
+    def test_properties(self, tiny_nmnist):
+        assert tiny_nmnist.is_classification
+        assert tiny_nmnist.n_classes == 10
+        assert tiny_nmnist.n_steps == 24
+        assert tiny_nmnist.n_channels == 34 * 34 * 2
+
+
+class TestNMNISTGenerator:
+    def test_shapes_and_labels(self, tiny_nmnist):
+        assert len(tiny_nmnist) == 20
+        assert tiny_nmnist.inputs.dtype == np.float32
+        counts = np.bincount(tiny_nmnist.targets, minlength=10)
+        np.testing.assert_array_equal(counts, 2)
+
+    def test_events_present_and_bounded(self, tiny_nmnist):
+        assert tiny_nmnist.inputs.sum() > 0
+        assert tiny_nmnist.inputs.max() <= 4.0   # cap + noise
+
+    def test_deterministic(self):
+        config = SyntheticNMNISTConfig(n_per_class=1, steps=12)
+        a = generate_nmnist(config, rng=5)
+        b = generate_nmnist(config, rng=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_metadata_provenance(self, tiny_nmnist):
+        assert "config" in tiny_nmnist.metadata
+        assert tiny_nmnist.metadata["seed"] == 0
+
+
+class TestSHDGenerator:
+    def test_twenty_classes(self, tiny_shd):
+        assert len(tiny_shd) == 20
+        assert tiny_shd.n_classes == 20
+        assert len(tiny_shd.class_names) == 20
+        assert tiny_shd.class_names[0].startswith("en")
+        assert tiny_shd.class_names[10].startswith("ge")
+
+    def test_sparse_spikes(self, tiny_shd):
+        density = tiny_shd.inputs.mean()
+        assert 0.002 < density < 0.25
+
+    def test_every_sample_has_spikes(self, tiny_shd):
+        per_sample = tiny_shd.inputs.sum(axis=(1, 2))
+        assert np.all(per_sample > 0)
+
+    def test_classes_differ(self, tiny_shd):
+        """Different words must produce different rasters."""
+        x0 = tiny_shd.inputs[tiny_shd.targets == 0][0]
+        x6 = tiny_shd.inputs[tiny_shd.targets == 6][0]
+        assert not np.array_equal(x0, x6)
+
+
+class TestGlyphToTarget:
+    def test_paper_conversion_rule(self):
+        """Pixel (x, y) -> spike in train y at time x (flipped rows)."""
+        image = np.zeros((4, 6))
+        image[0, 2] = 1.0      # top row, column 2
+        target = glyph_to_target(image, steps=6, trains=4, threshold=0.5)
+        assert target.shape == (6, 4)
+        # Top image row maps to the highest train index.
+        assert target[2, 3] == 1.0
+        assert target.sum() == 1.0
+
+    def test_image_must_fit(self):
+        with pytest.raises(ValueError):
+            glyph_to_target(np.ones((10, 10)), steps=5, trains=20)
+
+    def test_centred_placement(self):
+        image = np.ones((2, 2))
+        target = glyph_to_target(np.pad(image, 0), steps=10, trains=10,
+                                 threshold=0.5)
+        times, trains = np.nonzero(target)
+        assert times.min() >= 3 and times.max() <= 6
+        assert trains.min() >= 3 and trains.max() <= 6
+
+
+class TestAssociationGenerator:
+    def test_shapes(self):
+        config = AssociationConfig(n_samples=10, steps=40, target_trains=36,
+                                   glyph_size=24, input_channels=64)
+        dataset = generate_association(config, rng=0)
+        assert dataset.inputs.shape == (10, 40, 64)
+        assert dataset.targets.shape == (10, 40, 36)
+        assert not dataset.is_classification
+
+    def test_digit_labels_recorded(self):
+        config = AssociationConfig(n_samples=8, steps=40, target_trains=36,
+                                   glyph_size=24, input_channels=64)
+        dataset = generate_association(config, rng=0)
+        digits = dataset.metadata["digit_labels"]
+        assert len(digits) == 8
+        assert all(0 <= d <= 9 for d in digits)
+
+    def test_targets_look_like_digits(self):
+        """The target raster must contain the glyph's spike mass."""
+        config = AssociationConfig(n_samples=4, steps=80, target_trains=72,
+                                   glyph_size=64, input_channels=64)
+        dataset = generate_association(config, rng=0)
+        per_target = dataset.targets.sum(axis=(1, 2))
+        assert np.all(per_target > 50)
+
+    def test_glyph_must_fit_config(self):
+        with pytest.raises(Exception):
+            AssociationConfig(steps=30, target_trains=20, glyph_size=28)

@@ -1,0 +1,156 @@
+"""Unit tests for the glyph renderer and DVS camera simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.data.dvs import DVSCamera, record_moving_image, saccade_trajectory
+from repro.data.glyphs import DIGIT_STROKES, render_digit, render_digit_batch
+
+
+class TestGlyphs:
+    def test_all_digits_defined(self):
+        assert sorted(DIGIT_STROKES) == list(range(10))
+
+    def test_render_shape_and_range(self):
+        image = render_digit(3, size=28, rng=0)
+        assert image.shape == (28, 28)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+        assert image.max() > 0.5          # something was drawn
+
+    def test_deterministic_given_rng(self):
+        a = render_digit(7, rng=5)
+        b = render_digit(7, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_jitter_varies_samples(self):
+        a = render_digit(7, rng=1)
+        b = render_digit(7, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_no_jitter_is_canonical(self):
+        a = render_digit(4, rng=1, jitter=False)
+        b = render_digit(4, rng=99, jitter=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_digits_are_distinct(self):
+        """Canonical digits must differ pairwise (IoU < 0.8)."""
+        images = [render_digit(d, jitter=False) > 0.3 for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                inter = np.logical_and(images[i], images[j]).sum()
+                union = np.logical_or(images[i], images[j]).sum()
+                assert inter / union < 0.8, f"digits {i} and {j} too similar"
+
+    def test_invalid_digit(self):
+        with pytest.raises(DatasetError):
+            render_digit(10)
+
+    def test_batch_rendering(self):
+        batch = render_digit_batch([0, 1, 2], size=20, rng=0)
+        assert batch.shape == (3, 20, 20)
+
+    def test_glyph_occupies_centre(self):
+        image = render_digit(8, size=28, rng=0)
+        centre = image[7:21, 7:21]
+        border = image.copy()
+        border[4:24, 4:24] = 0.0
+        assert centre.sum() > border.sum()
+
+
+class TestDVSCamera:
+    def test_no_events_for_static_scene(self):
+        camera = DVSCamera(threshold=0.15)
+        frame = np.random.default_rng(0).random((8, 8))
+        camera.reset(frame)
+        events = camera.observe(frame)
+        assert events.sum() == 0
+
+    def test_on_event_for_brightening(self):
+        camera = DVSCamera(threshold=0.1)
+        camera.reset(np.zeros((2, 2)))
+        events = camera.observe(np.ones((2, 2)))
+        assert np.all(events[..., 0] >= 1)    # ON channel
+        assert events[..., 1].sum() == 0      # no OFF events
+
+    def test_off_event_for_darkening(self):
+        camera = DVSCamera(threshold=0.1)
+        camera.reset(np.ones((2, 2)))
+        events = camera.observe(np.zeros((2, 2)))
+        assert np.all(events[..., 1] >= 1)
+        assert events[..., 0].sum() == 0
+
+    def test_reference_update_prevents_repeat_events(self):
+        camera = DVSCamera(threshold=0.1)
+        camera.reset(np.zeros((1, 1)))
+        bright = np.full((1, 1), 0.5)
+        first = camera.observe(bright)
+        second = camera.observe(bright)     # same level: no new events
+        assert first.sum() > 0
+        assert second.sum() == 0
+
+    def test_event_cap(self):
+        camera = DVSCamera(threshold=0.01, max_events_per_step=3)
+        camera.reset(np.zeros((1, 1)))
+        events = camera.observe(np.ones((1, 1)))
+        assert events.max() <= 3
+
+    def test_observe_before_reset_raises(self):
+        with pytest.raises(DatasetError):
+            DVSCamera().observe(np.zeros((2, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            DVSCamera(threshold=0.0)
+        with pytest.raises(DatasetError):
+            DVSCamera(noise_rate=1.5)
+        with pytest.raises(DatasetError):
+            DVSCamera(max_events_per_step=0)
+
+
+class TestSaccades:
+    def test_three_legs_return_to_origin(self):
+        path = saccade_trajectory(60, amplitude=3.0)
+        assert path.shape == (60, 2)
+        np.testing.assert_allclose(path[0], 0.0, atol=1e-9)
+        # End of leg 3 approaches the origin again.
+        assert np.linalg.norm(path[-1]) < 0.5
+
+    def test_amplitude_respected(self):
+        path = saccade_trajectory(90, amplitude=5.0)
+        assert np.abs(path).max() <= 5.0 + 1e-9
+        assert np.abs(path).max() > 2.0
+
+    def test_too_few_steps(self):
+        with pytest.raises(DatasetError):
+            saccade_trajectory(2)
+
+    def test_jitter_perturbs(self):
+        smooth = saccade_trajectory(30, rng=0, jitter=0.0)
+        noisy = saccade_trajectory(30, rng=0, jitter=0.3)
+        assert not np.allclose(smooth, noisy)
+
+
+class TestRecording:
+    def test_event_tensor_shape(self):
+        image = render_digit(5, size=20, rng=0)
+        events = record_moving_image(image, steps=30, sensor_size=34, rng=1)
+        assert events.shape == (30, 34, 34, 2)
+        assert events.sum() > 0
+
+    def test_moving_image_makes_events_each_leg(self):
+        image = render_digit(0, size=20, rng=0)
+        events = record_moving_image(image, steps=30, sensor_size=34, rng=1)
+        thirds = events.reshape(3, 10, -1).sum(axis=(1, 2))
+        assert np.all(thirds > 0)
+
+    def test_image_too_large(self):
+        with pytest.raises(DatasetError):
+            record_moving_image(np.zeros((40, 40)), steps=10, sensor_size=34)
+
+    def test_deterministic(self):
+        image = render_digit(2, size=20, rng=0)
+        a = record_moving_image(image, steps=12, rng=3)
+        b = record_moving_image(image, steps=12, rng=3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.filters (paper eq. 5 and the eq. 15 kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError, StateError
+from repro.core.filters import (
+    DoubleExponentialKernel,
+    ExponentialFilter,
+    decay_from_tau,
+    exponential_filter,
+    exponential_filter_adjoint,
+    tau_from_decay,
+)
+
+
+class TestDecayConversion:
+    def test_paper_tau_value(self):
+        # Table I: tau = 4 -> alpha = e^(-1/4)
+        assert decay_from_tau(4.0) == pytest.approx(np.exp(-0.25))
+
+    def test_roundtrip(self):
+        for tau in (0.5, 1.0, 4.0, 40.0):
+            assert tau_from_decay(decay_from_tau(tau)) == pytest.approx(tau)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            decay_from_tau(0.0)
+        with pytest.raises(ValueError):
+            decay_from_tau(-1.0)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            tau_from_decay(1.0)
+        with pytest.raises(ValueError):
+            tau_from_decay(0.0)
+
+
+class TestExponentialFilter:
+    def test_impulse_response_is_geometric(self):
+        f = ExponentialFilter(tau=4.0, shape=(1,))
+        response = []
+        response.append(f.step(np.array([1.0]))[0])
+        for _ in range(9):
+            response.append(f.step(np.array([0.0]))[0])
+        alpha = decay_from_tau(4.0)
+        expected = alpha ** np.arange(10)
+        np.testing.assert_allclose(response, expected, rtol=1e-12)
+
+    def test_impulse_response_method_matches_step(self):
+        f = ExponentialFilter(tau=3.0)
+        ir = f.impulse_response(8)
+        assert ir[0] == 1.0
+        np.testing.assert_allclose(ir[1:] / ir[:-1], f.alpha)
+
+    def test_step_before_reset_raises(self):
+        f = ExponentialFilter(tau=4.0)
+        with pytest.raises(StateError):
+            f.step(np.zeros(3))
+
+    def test_step_shape_mismatch_raises(self):
+        f = ExponentialFilter(tau=4.0, shape=(2, 3))
+        with pytest.raises(ShapeError):
+            f.step(np.zeros((2, 4)))
+
+    def test_dc_gain(self):
+        # Constant input 1 converges to 1/(1 - alpha).
+        f = ExponentialFilter(tau=4.0, shape=(1,))
+        value = None
+        for _ in range(300):
+            value = f.step(np.array([1.0]))
+        assert value[0] == pytest.approx(1.0 / (1.0 - f.alpha), rel=1e-9)
+
+    def test_run_matches_manual_scan(self):
+        rng = np.random.default_rng(0)
+        xs = rng.random((20, 4))
+        f = ExponentialFilter(tau=2.5)
+        out = f.run(xs)
+        carry = np.zeros(4)
+        for t in range(20):
+            carry = f.alpha * carry + xs[t]
+            np.testing.assert_allclose(out[t], carry)
+
+    def test_run_time_axis(self):
+        rng = np.random.default_rng(1)
+        xs = rng.random((3, 15, 2))
+        f = ExponentialFilter(tau=4.0)
+        out = f.run(xs, time_axis=1)
+        ref = np.stack([f.run(xs[b]) for b in range(3)], axis=0)
+        np.testing.assert_allclose(out, ref)
+
+
+class TestFilterFunctions:
+    def test_initial_state_honoured(self):
+        xs = np.zeros((5, 1))
+        out = exponential_filter(xs, alpha=0.5, initial=np.array([8.0]))
+        np.testing.assert_allclose(out[:, 0], 8.0 * 0.5 ** np.arange(1, 6))
+
+    def test_adjoint_is_transpose(self):
+        """<F x, y> == <x, F^T y> for random x, y (the adjoint identity)."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30,))
+        y = rng.normal(size=(30,))
+        alpha = 0.7788
+        fx = exponential_filter(x, alpha)
+        fty = exponential_filter_adjoint(y, alpha)
+        assert np.dot(fx, y) == pytest.approx(np.dot(x, fty), rel=1e-12)
+
+
+class TestDoubleExponentialKernel:
+    def test_kernel_zero_at_origin(self):
+        kernel = DoubleExponentialKernel(tau_m=4.0, tau_s=1.0)
+        assert kernel.kernel(10)[0] == 0.0
+
+    def test_kernel_positive_after_origin(self):
+        kernel = DoubleExponentialKernel(tau_m=4.0, tau_s=1.0)
+        values = kernel.kernel(30)
+        assert np.all(values[1:] > 0.0)
+
+    def test_requires_tau_m_gt_tau_s(self):
+        with pytest.raises(ValueError):
+            DoubleExponentialKernel(tau_m=1.0, tau_s=4.0)
+        with pytest.raises(ValueError):
+            DoubleExponentialKernel(tau_m=2.0, tau_s=2.0)
+
+    def test_convolve_matches_direct_convolution(self):
+        rng = np.random.default_rng(3)
+        spikes = (rng.random(40) < 0.2).astype(float)
+        kernel = DoubleExponentialKernel(tau_m=4.0, tau_s=1.0)
+        fast = kernel.convolve(spikes[:, None])[:, 0]
+        direct = np.convolve(spikes, kernel.kernel(40))[:40]
+        np.testing.assert_allclose(fast, direct, atol=1e-12)
+
+    def test_adjoint_identity(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(25, 2))
+        y = rng.normal(size=(25, 2))
+        kernel = DoubleExponentialKernel()
+        lhs = np.sum(kernel.convolve(x) * y)
+        rhs = np.sum(x * kernel.adjoint_convolve(y))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_peak_time_is_analytic(self):
+        # Peak of e^{-t/tau_m} - e^{-t/tau_s} is at
+        # t* = ln(tau_m/tau_s) * tau_m*tau_s/(tau_m - tau_s).
+        kernel = DoubleExponentialKernel(tau_m=4.0, tau_s=1.0)
+        values = kernel.kernel(40)
+        t_star = np.log(4.0) * (4.0 * 1.0) / (4.0 - 1.0)
+        assert abs(int(np.argmax(values)) - t_star) <= 1.0

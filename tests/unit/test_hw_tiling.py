@@ -1,0 +1,89 @@
+"""Unit tests for crossbar tiling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.hardware.devices import RRAMDeviceConfig
+from repro.hardware.tiling import TiledCrossbar
+
+
+IDEAL = RRAMDeviceConfig(levels=2 ** 12, variation=0.0)
+
+
+class TestTiling:
+    def test_tile_counts(self):
+        weights = np.ones((300, 500))
+        tiled = TiledCrossbar(weights, tile_rows=128, tile_cols=128,
+                              device=IDEAL, rng=0)
+        assert tiled.n_row_tiles == 4      # ceil(500/128)
+        assert tiled.n_col_tiles == 3      # ceil(300/128)
+        assert tiled.n_tiles == 12
+
+    def test_ideal_tiled_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(40, 70))
+        tiled = TiledCrossbar(weights, tile_rows=32, tile_cols=16,
+                              device=IDEAL, rng=1)
+        x = rng.random((5, 70))
+        # 12-bit quantization leaves ~5e-4 per weight; with fan-in 70 the
+        # worst-case output error is ~0.035 absolute.
+        np.testing.assert_allclose(tiled.matvec(x), x @ weights.T,
+                                   atol=0.05)
+
+    def test_tiled_equals_monolithic_ideal(self):
+        """Cross-tile summation is exact: a tiled ideal array equals a
+        single ideal array."""
+        from repro.hardware.crossbar import DifferentialCrossbar
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(20, 50))
+        mono = DifferentialCrossbar(weights, IDEAL, rng=2)
+        tiled = TiledCrossbar(weights, tile_rows=16, tile_cols=8,
+                              device=IDEAL, rng=3)
+        x = rng.random(50)
+        # Both are 12-bit quantized (per-tile vs per-matrix scales), so
+        # they agree within a couple of quantization steps times fan-in.
+        np.testing.assert_allclose(tiled.matvec(x), mono.matvec(x),
+                                   atol=0.05)
+
+    def test_single_vector_shape(self):
+        weights = np.ones((6, 10))
+        tiled = TiledCrossbar(weights, tile_rows=4, tile_cols=4,
+                              device=IDEAL, rng=0)
+        out = tiled.matvec(np.ones(10))
+        assert out.shape == (6,)
+
+    def test_effective_weights_stitched(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=(10, 12))
+        tiled = TiledCrossbar(weights, tile_rows=5, tile_cols=4,
+                              device=IDEAL, rng=4)
+        stitched = tiled.effective_weights()
+        assert stitched.shape == weights.shape
+        # 12-bit quantization: near-exact reconstruction.
+        np.testing.assert_allclose(stitched, weights, atol=2e-3)
+
+    def test_variation_independent_per_tile(self):
+        weights = np.full((8, 8), 0.5)
+        device = RRAMDeviceConfig(variation=0.3)
+        tiled = TiledCrossbar(weights, tile_rows=4, tile_cols=4,
+                              device=device, rng=5)
+        blocks = [tile.effective_weights() for row in tiled.tiles
+                  for tile in row]
+        # Independent draws: no two tiles identical.
+        assert not np.allclose(blocks[0], blocks[1])
+
+    def test_utilisation(self):
+        weights = np.ones((100, 100))
+        tiled = TiledCrossbar(weights, tile_rows=128, tile_cols=128,
+                              device=IDEAL, rng=0)
+        assert tiled.utilisation() == pytest.approx(10000 / (128 * 128))
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            TiledCrossbar(np.ones(5))
+        with pytest.raises(ValueError):
+            TiledCrossbar(np.ones((4, 4)), tile_rows=0)
+        tiled = TiledCrossbar(np.ones((4, 6)), device=IDEAL, rng=0)
+        with pytest.raises(ShapeError):
+            tiled.matvec(np.ones(7))

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.layers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError, StateError
+from repro.core.layers import SpikingLinear
+from repro.core.neurons import NeuronParameters
+
+
+class TestConstruction:
+    def test_weight_shape(self):
+        layer = SpikingLinear(10, 4, rng=0)
+        assert layer.weight.shape == (4, 10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SpikingLinear(0, 4)
+        with pytest.raises(ValueError):
+            SpikingLinear(4, -1)
+
+    def test_deterministic_init(self):
+        a = SpikingLinear(8, 3, rng=7)
+        b = SpikingLinear(8, 3, rng=7)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_different_seeds_differ(self):
+        a = SpikingLinear(8, 3, rng=7)
+        b = SpikingLinear(8, 3, rng=8)
+        assert not np.array_equal(a.weight, b.weight)
+
+
+class TestForward:
+    def test_step_before_reset_raises(self):
+        layer = SpikingLinear(5, 2, rng=0)
+        with pytest.raises(StateError):
+            layer.step(np.zeros((1, 5)))
+
+    def test_step_wrong_width_raises(self):
+        layer = SpikingLinear(5, 2, rng=0)
+        layer.reset_state(1)
+        with pytest.raises(ShapeError):
+            layer.step(np.zeros((1, 6)))
+
+    def test_adaptive_psp_is_filtered_weighted_input(self):
+        """g = W k with k the exponential filter of the input spikes."""
+        layer = SpikingLinear(3, 2, params=NeuronParameters(v_th=1e9), rng=0)
+        layer.reset_state(1)
+        rng = np.random.default_rng(0)
+        carry = np.zeros((1, 3))
+        for _ in range(10):
+            x = (rng.random((1, 3)) < 0.5).astype(float)
+            _, v = layer.step(x)
+            carry = layer.alpha * carry + x
+            np.testing.assert_allclose(v, carry @ layer.weight.T, rtol=1e-12)
+
+    def test_run_shapes_and_reset(self):
+        layer = SpikingLinear(6, 4, rng=1)
+        xs = np.zeros((2, 12, 6))
+        out, record = layer.run(xs, record=True)
+        assert out.shape == (2, 12, 4)
+        assert record.k.shape == (2, 12, 6)
+        assert record.v.shape == (2, 12, 4)
+
+    def test_run_resets_state_each_call(self):
+        layer = SpikingLinear(4, 2, rng=2)
+        layer.weight = np.abs(layer.weight) * 10
+        xs = (np.random.default_rng(0).random((1, 10, 4)) < 0.5).astype(float)
+        out1, _ = layer.run(xs)
+        out2, _ = layer.run(xs)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_hard_reset_layer_has_no_k_record(self):
+        layer = SpikingLinear(4, 2, neuron_kind="hard_reset", rng=0)
+        xs = np.zeros((1, 5, 4))
+        _, record = layer.run(xs, record=True)
+        assert record.k is None
+
+    def test_run_rejects_bad_rank(self):
+        layer = SpikingLinear(4, 2, rng=0)
+        with pytest.raises(ShapeError):
+            layer.run(np.zeros((5, 4)))
+
+
+class TestNeuronSwap:
+    def test_copy_with_neuron_shares_weights(self):
+        layer = SpikingLinear(5, 3, rng=0)
+        clone = layer.copy_with_neuron("hard_reset")
+        assert clone.weight is layer.weight
+        assert clone.neuron_kind == "hard_reset"
+
+    def test_swap_preserves_subthreshold_dynamics(self):
+        """With an unreachable threshold, adaptive PSP == hard-reset
+        membrane (the Section II equivalence that justifies the swap)."""
+        params = NeuronParameters(v_th=1e9)
+        layer = SpikingLinear(4, 3, params=params, rng=3)
+        hr = layer.copy_with_neuron("hard_reset")
+        xs = (np.random.default_rng(1).random((2, 20, 4)) < 0.4).astype(float)
+        _, rec_a = layer.run(xs, record=True)
+        _, rec_h = hr.run(xs, record=True)
+        np.testing.assert_allclose(rec_a.v, rec_h.v, rtol=1e-10)

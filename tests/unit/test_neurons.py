@@ -1,0 +1,172 @@
+"""Unit tests for repro.core.neurons (paper eqs. 1 and 6-12)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StateError
+from repro.core.filters import decay_from_tau
+from repro.core.neurons import (
+    AdaptiveLIFNeuron,
+    HardResetLIFNeuron,
+    NeuronParameters,
+    make_neuron,
+)
+
+
+class TestNeuronParameters:
+    def test_paper_defaults(self):
+        params = NeuronParameters()
+        assert params.tau == 4.0
+        assert params.tau_r == 4.0
+        assert params.v_th == 1.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            NeuronParameters(tau=-1.0)
+        with pytest.raises(Exception):
+            NeuronParameters(v_th=0.0)
+        with pytest.raises(Exception):
+            NeuronParameters(theta=-0.5)
+
+
+class TestAdaptiveLIFNeuron:
+    def test_no_spike_below_threshold(self):
+        neuron = AdaptiveLIFNeuron(3)
+        neuron.reset_state(2)
+        spikes, v = neuron.step(np.full((2, 3), 0.5))
+        assert spikes.sum() == 0
+        np.testing.assert_allclose(v, 0.5)
+
+    def test_spikes_at_threshold(self):
+        neuron = AdaptiveLIFNeuron(1)
+        neuron.reset_state(1)
+        spikes, _ = neuron.step(np.array([[1.0]]))  # v_th = 1.0, >= fires
+        assert spikes[0, 0] == 1.0
+
+    def test_threshold_rises_after_spike(self):
+        """Eq. 8: h jumps by the previous output, threshold = Vth + theta*h."""
+        neuron = AdaptiveLIFNeuron(1, NeuronParameters(theta=1.0, tau_r=4.0))
+        neuron.reset_state(1)
+        neuron.step(np.array([[2.0]]))          # fires
+        assert neuron.adaptive_threshold()[0, 0] == pytest.approx(1.0)
+        neuron.step(np.array([[0.0]]))          # h picks up O[t-1] = 1
+        beta = decay_from_tau(4.0)
+        assert neuron.adaptive_threshold()[0, 0] == pytest.approx(1.0 + 1.0)
+        neuron.step(np.array([[0.0]]))
+        assert neuron.adaptive_threshold()[0, 0] == pytest.approx(
+            1.0 + beta)
+
+    def test_threshold_decays_exponentially(self):
+        neuron = AdaptiveLIFNeuron(1)
+        neuron.reset_state(1)
+        neuron.step(np.array([[5.0]]))          # fire once
+        thresholds = []
+        for _ in range(6):
+            neuron.step(np.array([[0.0]]))
+            thresholds.append(neuron.adaptive_threshold()[0, 0] - 1.0)
+        ratios = np.array(thresholds[1:]) / np.array(thresholds[:-1])
+        np.testing.assert_allclose(ratios, decay_from_tau(4.0), rtol=1e-9)
+
+    def test_refractory_suppression(self):
+        """A PSP that would fire alone is suppressed right after a spike."""
+        neuron = AdaptiveLIFNeuron(1, NeuronParameters(theta=1.0))
+        neuron.reset_state(1)
+        s1, _ = neuron.step(np.array([[1.2]]))
+        assert s1[0, 0] == 1.0
+        s2, _ = neuron.step(np.array([[1.2]]))  # threshold now 2.0 > 1.2
+        assert s2[0, 0] == 0.0
+
+    def test_adaptive_threshold_form_equivalence(self):
+        """Eq. 6+10 (v = g - theta*h vs Vth) == eq. 12 (g vs Vth + theta*h)."""
+        rng = np.random.default_rng(0)
+        neuron = AdaptiveLIFNeuron(4, NeuronParameters(theta=0.7))
+        neuron.reset_state(2)
+        for _ in range(30):
+            g = rng.random((2, 4)) * 2.0
+            threshold_before = neuron.adaptive_threshold_preview()
+            spikes, v = neuron.step(g)
+            expected = (g >= threshold_before).astype(float)
+            np.testing.assert_array_equal(spikes, expected)
+
+    def test_step_before_reset_raises(self):
+        neuron = AdaptiveLIFNeuron(2)
+        with pytest.raises(StateError):
+            neuron.step(np.zeros((1, 2)))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AdaptiveLIFNeuron(0)
+
+    def test_state_isolated_between_batches(self):
+        neuron = AdaptiveLIFNeuron(1)
+        neuron.reset_state(2)
+        g = np.array([[2.0], [0.0]])
+        spikes, _ = neuron.step(g)
+        np.testing.assert_array_equal(spikes, [[1.0], [0.0]])
+        # Only sample 0's threshold rises.
+        neuron.step(np.zeros((2, 1)))
+        thresholds = neuron.adaptive_threshold()
+        assert thresholds[0, 0] > thresholds[1, 0]
+
+
+class TestHardResetLIFNeuron:
+    def test_integrates_like_filter_without_reset(self):
+        """With inputs too weak to fire, v equals the exponential filter of
+        the drive — identical to the adaptive model's PSP (Section II)."""
+        rng = np.random.default_rng(1)
+        neuron = HardResetLIFNeuron(3, NeuronParameters(v_th=1e9))
+        neuron.reset_state(1)
+        alpha = neuron.alpha
+        carry = np.zeros((1, 3))
+        for _ in range(25):
+            j = rng.random((1, 3)) * 0.1
+            _, v = neuron.step(j)
+            carry = alpha * carry + j
+            np.testing.assert_allclose(v, carry, rtol=1e-12)
+
+    def test_reset_wipes_state(self):
+        neuron = HardResetLIFNeuron(1)
+        neuron.reset_state(1)
+        spikes, v = neuron.step(np.array([[1.5]]))
+        assert spikes[0, 0] == 1.0
+        # After reset the membrane restarts from zero.
+        _, v2 = neuron.step(np.array([[0.0]]))
+        assert v2[0, 0] == pytest.approx(0.0)
+
+    def test_subthreshold_not_reset(self):
+        neuron = HardResetLIFNeuron(1)
+        neuron.reset_state(1)
+        _, v1 = neuron.step(np.array([[0.4]]))
+        _, v2 = neuron.step(np.array([[0.0]]))
+        assert v2[0, 0] == pytest.approx(0.4 * neuron.alpha)
+
+    def test_euler_discretization_gains(self):
+        impulse = HardResetLIFNeuron(1, discretization="impulse")
+        euler = HardResetLIFNeuron(1, discretization="euler")
+        assert impulse.input_gain == 1.0
+        assert euler.input_gain == pytest.approx(0.25)     # 1/tau
+        assert euler.alpha == pytest.approx(0.75)          # 1 - 1/tau
+        assert impulse.alpha == pytest.approx(np.exp(-0.25))
+
+    def test_unknown_discretization(self):
+        with pytest.raises(ValueError):
+            HardResetLIFNeuron(1, discretization="rk4")
+
+    def test_step_before_reset_raises(self):
+        neuron = HardResetLIFNeuron(2)
+        with pytest.raises(StateError):
+            neuron.step(np.zeros((1, 2)))
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_neuron("adaptive", 3), AdaptiveLIFNeuron)
+        hr = make_neuron("hard_reset", 3)
+        assert isinstance(hr, HardResetLIFNeuron)
+        assert hr.discretization == "impulse"
+        he = make_neuron("hard_reset_euler", 3)
+        assert he.discretization == "euler"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown neuron kind"):
+            make_neuron("izhikevich", 3)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.optim."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.core.optim import SGD, Adam, AdamW, clip_grad_norm, make_optimizer
+
+
+def quadratic_params():
+    return [np.array([5.0, -3.0]), np.array([[2.0]])]
+
+
+def quadratic_grads(params):
+    # Gradient of 0.5*||p||^2 is p itself -> all optimizers must reach 0.
+    return [p.copy() for p in params]
+
+
+class TestSGD:
+    def test_plain_descent_converges(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            opt.step(quadratic_grads(params))
+        for p in params:
+            np.testing.assert_allclose(p, 0.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        params_a = quadratic_params()
+        params_b = quadratic_params()
+        plain = SGD(params_a, lr=0.02)
+        momentum = SGD(params_b, lr=0.02, momentum=0.9)
+        for _ in range(30):
+            plain.step(quadratic_grads(params_a))
+            momentum.step(quadratic_grads(params_b))
+        assert np.abs(params_b[0]).sum() < np.abs(params_a[0]).sum()
+
+    def test_in_place_updates(self):
+        params = [np.ones(3)]
+        original = params[0]
+        SGD(params, lr=0.5).step([np.ones(3)])
+        assert params[0] is original          # same array object
+        np.testing.assert_allclose(original, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([np.ones(2)], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([np.ones(2)], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        opt = Adam(params, lr=0.2)
+        for _ in range(300):
+            opt.step(quadratic_grads(params))
+        for p in params:
+            np.testing.assert_allclose(p, 0.0, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr * sign(g)."""
+        params = [np.array([1.0])]
+        opt = Adam(params, lr=0.01)
+        opt.step([np.array([123.0])])
+        assert params[0][0] == pytest.approx(1.0 - 0.01, rel=1e-4)
+
+    def test_grad_shape_check(self):
+        opt = Adam([np.ones((2, 2))], lr=0.1)
+        with pytest.raises(ShapeError):
+            opt.step([np.ones(3)])
+        with pytest.raises(ShapeError):
+            opt.step([np.ones((2, 2)), np.ones(1)])
+
+
+class TestAdamW:
+    def test_decay_shrinks_weights_without_gradient(self):
+        params = [np.array([10.0])]
+        opt = AdamW(params, lr=0.1, weight_decay=0.5)
+        opt.step([np.array([0.0])])
+        # Pure decay: p -= lr*wd*p -> 10 * (1 - 0.05) = 9.5.
+        assert params[0][0] == pytest.approx(9.5)
+
+    def test_decay_is_decoupled(self):
+        """AdamW decay must not enter the moment estimates: with huge
+        weights and tiny gradients the total move is exactly
+        lr*wd*p plus the eps-damped Adam step (lr * g/(g + eps) = lr/2
+        when g == eps), not a decay-inflated gradient step."""
+        params_adamw = [np.array([100.0])]
+        opt = AdamW(params_adamw, lr=0.001, weight_decay=0.01)
+        opt.step([np.array([1e-8])])      # gradient == Adam eps
+        moved = 100.0 - params_adamw[0][0]
+        decay_part = 0.001 * 0.01 * 100.0
+        adam_part = 0.001 * 0.5
+        assert moved == pytest.approx(decay_part + adam_part, rel=0.02)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            AdamW([np.ones(1)], lr=0.1, weight_decay=-0.1)
+
+
+class TestClipGradNorm:
+    def test_noop_below_limit(self):
+        grads = [np.array([0.3, 0.4])]
+        norm = clip_grad_norm(grads, max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(grads[0], [0.3, 0.4])
+
+    def test_scales_above_limit(self):
+        grads = [np.array([3.0, 4.0])]
+        norm = clip_grad_norm(grads, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(grads[0]) == pytest.approx(1.0)
+
+    def test_global_norm_across_arrays(self):
+        grads = [np.array([3.0]), np.array([4.0])]
+        clip_grad_norm(grads, max_norm=1.0)
+        total = np.sqrt(sum(float(np.sum(g * g)) for g in grads))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([np.ones(2)], max_norm=0.0)
+
+
+class TestFactory:
+    def test_names(self):
+        params = [np.ones(2)]
+        assert isinstance(make_optimizer("sgd", params, lr=0.1), SGD)
+        assert isinstance(make_optimizer("adam", params, lr=0.1), Adam)
+        assert isinstance(make_optimizer("AdamW", params, lr=0.1), AdamW)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_optimizer("lion", [np.ones(2)], lr=0.1)

@@ -1,0 +1,122 @@
+"""Unit tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossEntropyRateLoss, SpikingNetwork, TrainerConfig
+from repro.core.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ScheduledTrainer,
+    StepSchedule,
+    WarmupSchedule,
+)
+
+
+class TestConstant:
+    def test_always_one(self):
+        schedule = ConstantSchedule()
+        assert all(schedule(e) == 1.0 for e in range(1, 20))
+
+    def test_epoch_one_based(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule()(0)
+
+
+class TestStep:
+    def test_decay_boundaries(self):
+        schedule = StepSchedule(step_size=3, gamma=0.5)
+        assert schedule(1) == 1.0
+        assert schedule(3) == 1.0
+        assert schedule(4) == 0.5
+        assert schedule(7) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepSchedule(step_size=0)
+        with pytest.raises(ValueError):
+            StepSchedule(step_size=2, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineSchedule(total_epochs=10, floor=0.1)
+        assert schedule(1) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineSchedule(total_epochs=20)
+        values = [schedule(e) for e in range(1, 21)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_clamps_past_horizon(self):
+        schedule = CosineSchedule(total_epochs=5, floor=0.2)
+        assert schedule(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(total_epochs=5, floor=1.0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        schedule = WarmupSchedule(warmup_epochs=4)
+        np.testing.assert_allclose(
+            [schedule(e) for e in (1, 2, 3, 4)],
+            [1 / 5, 2 / 5, 3 / 5, 4 / 5])
+        assert schedule(5) == 1.0
+
+    def test_delegates_after_warmup(self):
+        schedule = WarmupSchedule(2, after=StepSchedule(1, gamma=0.5))
+        assert schedule(3) == 1.0        # after-epoch 1
+        assert schedule(4) == 0.5        # after-epoch 2
+
+    def test_zero_warmup(self):
+        schedule = WarmupSchedule(0)
+        assert schedule(1) == 1.0
+
+
+class TestScheduledTrainer:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random((16, 10, 6)) < 0.4).astype(float)
+        y = np.arange(16) % 2
+        return x, y
+
+    def test_lr_follows_schedule(self):
+        x, y = self._data()
+        net = SpikingNetwork((6, 5, 2), rng=0)
+        for layer in net.layers:
+            layer.weight *= 8.0
+        trainer = ScheduledTrainer(
+            net, CrossEntropyRateLoss(),
+            TrainerConfig(epochs=3, batch_size=8, learning_rate=1e-2),
+            schedule=StepSchedule(step_size=1, gamma=0.5), rng=1)
+        expected = [1e-2, 5e-3, 2.5e-3]
+        for lr in expected:
+            trainer.train_epoch(x, y)
+            assert trainer.current_lr == pytest.approx(lr)
+
+    def test_default_schedule_is_constant(self):
+        x, y = self._data()
+        net = SpikingNetwork((6, 5, 2), rng=0)
+        trainer = ScheduledTrainer(
+            net, CrossEntropyRateLoss(),
+            TrainerConfig(epochs=2, batch_size=8, learning_rate=3e-3),
+            rng=1)
+        trainer.train_epoch(x, y)
+        assert trainer.current_lr == pytest.approx(3e-3)
+
+    def test_fit_still_works(self):
+        x, y = self._data()
+        net = SpikingNetwork((6, 5, 2), rng=0)
+        for layer in net.layers:
+            layer.weight *= 8.0
+        trainer = ScheduledTrainer(
+            net, CrossEntropyRateLoss(),
+            TrainerConfig(epochs=4, batch_size=8, learning_rate=5e-3),
+            schedule=CosineSchedule(total_epochs=4), rng=1)
+        history = trainer.fit(x, y)
+        assert len(history) == 4

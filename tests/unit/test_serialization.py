@@ -1,0 +1,93 @@
+"""Unit tests for repro.common.serialization and asciiplot."""
+
+import numpy as np
+import pytest
+
+from repro.common.asciiplot import line_plot, raster_plot, sparkline
+from repro.common.errors import SerializationError
+from repro.common.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+)
+
+
+class TestArrayArtifacts:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "model")
+        arrays = {"w0": np.arange(6).reshape(2, 3),
+                  "w1": np.ones(4, dtype=np.float32)}
+        save_arrays(path, arrays, metadata={"epochs": 5})
+        loaded, metadata = load_arrays(path)
+        np.testing.assert_array_equal(loaded["w0"], arrays["w0"])
+        assert loaded["w1"].dtype == np.float32
+        assert metadata["epochs"] == 5
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_arrays(str(tmp_path / "nope"))
+
+    def test_empty_artifact_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_arrays(str(tmp_path / "x"), {})
+
+    def test_bad_names_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_arrays(str(tmp_path / "x"), {"": np.ones(1)})
+
+    def test_no_sidecar_gives_empty_metadata(self, tmp_path):
+        path = str(tmp_path / "bare")
+        save_arrays(path, {"a": np.ones(2)})
+        import os
+        sidecar = path + ".json"
+        if os.path.exists(sidecar):
+            os.remove(sidecar)
+        _, metadata = load_arrays(path)
+        assert metadata == {}
+
+
+class TestJson:
+    def test_roundtrip_with_numpy_scalars(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        save_json(path, {"a": np.float64(1.5), "b": np.int64(3),
+                         "c": np.bool_(True), "d": np.arange(3)})
+        loaded = load_json(path)
+        assert loaded == {"a": 1.5, "b": 3, "c": True, "d": [0, 1, 2]}
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_json(str(tmp_path / "bad.json"), {"f": lambda: 1})
+
+    def test_missing_json(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(str(tmp_path / "missing.json"))
+
+
+class TestAsciiPlots:
+    def test_sparkline_length(self):
+        assert len(sparkline(np.sin(np.linspace(0, 6, 200)), width=40)) == 40
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_line_plot_contains_legend(self):
+        text = line_plot({"a": [0, 1, 2], "b": [2, 1, 0]}, height=5, width=20)
+        assert "a" in text and "b" in text
+        assert "*" in text and "o" in text
+
+    def test_line_plot_constant_series(self):
+        text = line_plot({"flat": [1.0] * 10}, height=4, width=10)
+        assert "flat" in text
+
+    def test_raster_plot_counts_spikes(self):
+        spikes = np.zeros((8, 30))
+        spikes[2, 5] = 1
+        spikes[7, 29] = 1
+        text = raster_plot(spikes)
+        assert "spikes=2" in text
+        assert "#" in text
+
+    def test_raster_plot_requires_2d(self):
+        with pytest.raises(ValueError):
+            raster_plot(np.zeros(10))

@@ -1,0 +1,74 @@
+"""Unit tests for the temporal-information controls."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import jitter_time, shuffle_time
+from repro.common.errors import ShapeError
+
+
+class TestShuffleTime:
+    def test_counts_preserved_exactly(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random((5, 30, 8)) < 0.2).astype(np.float32)
+        shuffled = shuffle_time(x, rng=1)
+        np.testing.assert_array_equal(x.sum(axis=1), shuffled.sum(axis=1))
+
+    def test_order_destroyed(self):
+        x = np.zeros((1, 20, 2))
+        x[0, :10, 0] = 1.0           # channel 0 early
+        x[0, 10:, 1] = 1.0           # channel 1 late
+        shuffled = shuffle_time(x, rng=2)
+        assert not np.array_equal(x, shuffled)
+
+    def test_within_step_coincidences_survive(self):
+        """The same permutation applies to all channels, so spikes that
+        were simultaneous stay simultaneous."""
+        x = np.zeros((1, 10, 3))
+        x[0, 4, :] = 1.0             # one fully synchronous step
+        shuffled = shuffle_time(x, rng=3)
+        sums = shuffled[0].sum(axis=1)
+        assert sums.max() == 3.0
+
+    def test_independent_permutation_per_sample(self):
+        x = np.zeros((2, 30, 1))
+        x[:, 5, 0] = 1.0
+        shuffled = shuffle_time(x, rng=4)
+        t0 = np.flatnonzero(shuffled[0, :, 0])[0]
+        t1 = np.flatnonzero(shuffled[1, :, 0])[0]
+        assert (t0, t1) != (5, 5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            shuffle_time(np.zeros((10, 3)))
+
+
+class TestJitterTime:
+    def test_zero_jitter_is_copy(self):
+        x = (np.random.default_rng(0).random((2, 15, 4)) < 0.3).astype(float)
+        out = jitter_time(x, 0)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_total_spikes_preserved(self):
+        rng = np.random.default_rng(1)
+        x = (rng.random((3, 40, 6)) < 0.2).astype(float)
+        out = jitter_time(x, 3, rng=2)
+        assert out.sum() == x.sum()
+
+    def test_displacement_bounded(self):
+        x = np.zeros((1, 50, 1))
+        x[0, 25, 0] = 1.0
+        out = jitter_time(x, 4, rng=3)
+        t = np.flatnonzero(out[0, :, 0])[0]
+        assert 21 <= t <= 29
+
+    def test_clipping_at_boundaries(self):
+        x = np.zeros((1, 10, 1))
+        x[0, 0, 0] = 1.0
+        out = jitter_time(x, 9, rng=4)
+        assert out.sum() == 1.0        # never lost off the edge
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_time(np.zeros((1, 5, 1)), -1)

@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.trainer and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ShapeError
+from repro.core import (
+    CrossEntropyRateLoss,
+    SpikingNetwork,
+    Trainer,
+    TrainerConfig,
+    VanRossumLoss,
+)
+from repro.core.calibration import calibrate_firing, layer_firing_rates
+from repro.core.trainer import run_in_batches
+
+
+def rate_task(n=40, steps=12, channels=8, seed=0):
+    """Trivially separable task: class decides which half of the channels
+    is active."""
+    rng = np.random.default_rng(seed)
+    x = np.zeros((n, steps, channels))
+    y = np.zeros(n, dtype=int)
+    for i in range(n):
+        cls = i % 2
+        y[i] = cls
+        lo, hi = (0, channels // 2) if cls == 0 else (channels // 2, channels)
+        x[i, :, lo:hi] = (rng.random((steps, hi - lo)) < 0.5)
+    return x, y
+
+
+@pytest.fixture
+def trained_setup():
+    x, y = rate_task()
+    net = SpikingNetwork((8, 12, 2), rng=0)
+    calibrate_firing(net, x[:16], target_rate=0.15)
+    config = TrainerConfig(epochs=15, batch_size=16, learning_rate=1e-2,
+                           optimizer="adamw")
+    trainer = Trainer(net, CrossEntropyRateLoss(), config, rng=1)
+    return trainer, x, y
+
+
+class TestTrainerConfig:
+    def test_defaults_valid(self):
+        TrainerConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainerConfig(learning_rate=-1.0)
+        with pytest.raises(ConfigError):
+            TrainerConfig(gradient_mode="forward")
+        with pytest.raises(ConfigError):
+            TrainerConfig(optimizer="lion")
+
+    def test_roundtrip(self):
+        config = TrainerConfig(epochs=3, grad_clip=1.0)
+        assert TrainerConfig.from_dict(config.to_dict()) == config
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_setup):
+        trainer, x, y = trained_setup
+        history = trainer.fit(x, y)
+        assert history[-1].train_loss < history[0].train_loss
+
+    def test_learns_separable_task(self, trained_setup):
+        trainer, x, y = trained_setup
+        trainer.fit(x, y)
+        metrics = trainer.evaluate(x, y)
+        assert metrics["accuracy"] >= 0.9
+
+    def test_history_records_epochs(self, trained_setup):
+        trainer, x, y = trained_setup
+        history = trainer.fit(x, y, x, y)
+        assert len(history) == trainer.config.epochs
+        assert all("accuracy" in h.test_metrics for h in history)
+        assert all(h.seconds >= 0 for h in history)
+
+    def test_mismatched_targets_raise(self, trained_setup):
+        trainer, x, y = trained_setup
+        with pytest.raises(ShapeError):
+            trainer.train_epoch(x, y[:-3])
+
+    def test_train_batch_returns_finite_loss(self, trained_setup):
+        trainer, x, y = trained_setup
+        loss = trainer.train_batch(x[:8], y[:8])
+        assert np.isfinite(loss)
+
+    def test_evaluate_with_swapped_network(self, trained_setup):
+        trainer, x, y = trained_setup
+        trainer.fit(x, y)
+        hr = trainer.network.with_neuron_kind("hard_reset")
+        metrics = trainer.evaluate(x, y, network=hr)
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+
+    def test_association_training_reduces_distance(self):
+        rng = np.random.default_rng(2)
+        x = (rng.random((20, 15, 6)) < 0.3).astype(float)
+        targets = np.zeros((20, 15, 3))
+        targets[:, 5, 0] = 1.0            # all samples want one early spike
+        net = SpikingNetwork((6, 10, 3), rng=3)
+        calibrate_firing(net, x, target_rate=0.15)
+        loss = VanRossumLoss()
+        trainer = Trainer(net, loss, TrainerConfig(
+            epochs=10, batch_size=10, learning_rate=5e-3), rng=4)
+        before = trainer.evaluate(x, targets)["van_rossum"]
+        trainer.fit(x, targets)
+        after = trainer.evaluate(x, targets)["van_rossum"]
+        assert after < before
+
+    def test_grad_clip_path(self):
+        x, y = rate_task(n=16)
+        net = SpikingNetwork((8, 6, 2), rng=5)
+        calibrate_firing(net, x, target_rate=0.15)
+        trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+            epochs=1, batch_size=8, learning_rate=1e-3, grad_clip=0.1),
+            rng=6)
+        assert np.isfinite(trainer.train_epoch(x, y))
+
+    def test_truncated_gradient_mode_trains(self):
+        x, y = rate_task(n=24)
+        net = SpikingNetwork((8, 6, 2), rng=7)
+        calibrate_firing(net, x, target_rate=0.15)
+        trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+            epochs=4, batch_size=8, learning_rate=5e-3,
+            gradient_mode="truncated"), rng=8)
+        history = trainer.fit(x, y)
+        assert history[-1].train_loss < history[0].train_loss
+
+
+class TestRunInBatches:
+    def test_matches_single_run(self):
+        net = SpikingNetwork((5, 4, 3), rng=0)
+        rng = np.random.default_rng(1)
+        x = (rng.random((10, 8, 5)) < 0.4).astype(float)
+        full, _ = net.run(x)
+        batched = run_in_batches(net, x, batch_size=3)
+        np.testing.assert_array_equal(full, batched)
+
+
+class TestCalibration:
+    def test_rates_hit_target(self):
+        rng = np.random.default_rng(2)
+        x = (rng.random((12, 20, 10)) < 0.3).astype(float)
+        net = SpikingNetwork((10, 16, 4), rng=9)
+        calibrate_firing(net, x, target_rate=0.1, tolerance=0.03)
+        rates = layer_firing_rates(net, x)
+        for rate in rates:
+            assert rate == pytest.approx(0.1, abs=0.05)
+
+    def test_returns_scales(self):
+        rng = np.random.default_rng(3)
+        x = (rng.random((8, 15, 6)) < 0.3).astype(float)
+        net = SpikingNetwork((6, 5, 3), rng=10)
+        scales = calibrate_firing(net, x, target_rate=0.1)
+        assert len(scales) == 2
+        assert all(s > 0 for s in scales)
+
+    def test_input_validation(self):
+        net = SpikingNetwork((6, 5), rng=0)
+        with pytest.raises(ShapeError):
+            calibrate_firing(net, np.zeros((5, 6)))
+        with pytest.raises(ValueError):
+            calibrate_firing(net, np.zeros((2, 5, 6)), target_rate=1.5)
