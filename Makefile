@@ -1,0 +1,29 @@
+# One-word entry points for the tier-1 verify, the benchmarks and the
+# docs checks. Everything runs from the repo root with src/ on the path;
+# no installation required. See README.md "Make targets".
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-paper docs quickstart
+
+## tier-1 verify: the full unit/property/integration suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## core-kernel throughput microbenchmarks (fused vs reference engines)
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q --benchmark-only \
+		--benchmark-min-rounds=15 --benchmark-warmup=on
+
+## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
+bench-paper:
+	$(PYTHON) -m pytest benchmarks -q
+
+## verify the documentation: README/docs exist and their local links resolve
+docs:
+	$(PYTHON) tools/check_docs.py
+
+## end-to-end smoke: train the temporal-order quickstart task
+quickstart:
+	$(PYTHON) examples/quickstart.py

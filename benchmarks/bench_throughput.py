@@ -5,6 +5,11 @@ for the kernels everything else is built from: network forward, exact
 BPTT backward, crossbar analog product, cochlea encoding, and the MNA
 transient solver.  They guard against performance regressions and give a
 cost model for scaling the experiments.
+
+The forward/backward benchmarks cover both simulation engines: the fused
+vectorized engine (the default everywhere, ``repro.core.engine``) and the
+step-wise reference loop it replaced.  The measured ratio is recorded in
+``docs/performance.md``.
 """
 
 import numpy as np
@@ -30,12 +35,27 @@ def forward_setup():
 
 
 def test_forward_throughput(benchmark, forward_setup):
+    """Default path: the fused vectorized engine."""
     net, x = forward_setup
     out, _ = benchmark(lambda: net.run(x))
     assert out.shape == (32, 100, 20)
 
 
+def test_forward_throughput_step_reference(benchmark, forward_setup):
+    """The step-wise reference loop the fused engine is measured against."""
+    net, x = forward_setup
+    out, _ = benchmark(lambda: net.run(x, engine="step"))
+    assert out.shape == (32, 100, 20)
+
+
+def test_forward_throughput_float32(benchmark, forward_setup):
+    net, x = forward_setup
+    out, _ = benchmark(lambda: net.run(x, precision="float32"))
+    assert out.dtype == np.float32
+
+
 def test_backward_throughput(benchmark, forward_setup):
+    """Default path: the fused BPTT kernels."""
     net, x = forward_setup
     labels = np.arange(32) % 20
     loss = CrossEntropyRateLoss()
@@ -43,6 +63,19 @@ def test_backward_throughput(benchmark, forward_setup):
     _, grad_out = loss.value_and_grad(out, labels)
 
     result = benchmark(lambda: backward(net, record, grad_out))
+    assert all(np.all(np.isfinite(g)) for g in result.weight_grads)
+
+
+def test_backward_throughput_reference(benchmark, forward_setup):
+    """The per-step adjoint loops the fused backward is measured against."""
+    net, x = forward_setup
+    labels = np.arange(32) % 20
+    loss = CrossEntropyRateLoss()
+    out, record = net.run(x, record=True)
+    _, grad_out = loss.value_and_grad(out, labels)
+
+    result = benchmark(
+        lambda: backward(net, record, grad_out, engine="reference"))
     assert all(np.all(np.isfinite(g)) for g in result.weight_grads)
 
 

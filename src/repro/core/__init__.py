@@ -2,6 +2,15 @@
 LIF neurons, surrogate-gradient BPTT, and the two task losses."""
 
 from .backprop import GradientResult, backward
+from .engine import (
+    PRECISIONS,
+    exp_scan,
+    exp_scan_reverse,
+    fused_backward,
+    fused_layer_forward,
+    fused_run,
+    resolve_precision,
+)
 from .filters import (
     DoubleExponentialKernel,
     ExponentialFilter,
@@ -37,6 +46,13 @@ from .trainer import EpochStats, Trainer, TrainerConfig, run_in_batches
 __all__ = [
     "GradientResult",
     "backward",
+    "PRECISIONS",
+    "exp_scan",
+    "exp_scan_reverse",
+    "fused_backward",
+    "fused_layer_forward",
+    "fused_run",
+    "resolve_precision",
     "DoubleExponentialKernel",
     "ExponentialFilter",
     "decay_from_tau",

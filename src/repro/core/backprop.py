@@ -48,16 +48,29 @@ class GradientResult:
         Per-layer ``dE/dW`` arrays matching ``network.weights`` shapes.
     input_grad:
         ``dE/d(input spikes)``, shape (batch, T, n_input).  Useful for
-        sensitivity analysis and tests.
+        sensitivity analysis and tests.  The fused engine materialises it
+        lazily on first access — training only consumes ``weight_grads``,
+        and the first layer's input gradient costs a full dense matmul.
     """
 
-    def __init__(self, weight_grads: list[np.ndarray], input_grad: np.ndarray):
+    def __init__(self, weight_grads: list[np.ndarray], input_grad: np.ndarray,
+                 input_grad_fn=None):
         self.weight_grads = weight_grads
-        self.input_grad = input_grad
+        self._input_grad = input_grad
+        self._input_grad_fn = input_grad_fn
+
+    @property
+    def input_grad(self) -> np.ndarray:
+        if self._input_grad is None and self._input_grad_fn is not None:
+            self._input_grad = self._input_grad_fn()
+            self._input_grad_fn = None
+        return self._input_grad
 
 
 def backward(network: SpikingNetwork, record: RunRecord,
-             grad_outputs: np.ndarray, mode: str = "exact") -> GradientResult:
+             grad_outputs: np.ndarray, mode: str = "exact",
+             engine: str = "fused",
+             precision: str | None = None) -> GradientResult:
     """BPTT through a recorded forward run.
 
     Parameters
@@ -67,12 +80,19 @@ def backward(network: SpikingNetwork, record: RunRecord,
         since the forward pass).
     record:
         A :class:`~repro.core.network.RunRecord` from
-        ``network.run(..., record=True)``.
+        ``network.run(..., record=True)`` (either engine's record works).
     grad_outputs:
         ``dE/dO_L``, the loss gradient with respect to the last layer's
         output spikes, shape (batch, T, n_out).
     mode:
         ``"exact"`` or ``"truncated"`` (see module docstring).
+    engine:
+        ``"fused"`` (default) hoists the matmuls out of the time loop
+        (:func:`repro.core.engine.fused_backward`); ``"reference"`` runs
+        the per-step adjoint loops below, always in float64.
+    precision:
+        ``"float32"`` or ``"float64"`` for the fused engine (defaults to
+        the record's dtype).  Ignored by the reference engine.
 
     Returns
     -------
@@ -82,6 +102,14 @@ def backward(network: SpikingNetwork, record: RunRecord,
     """
     if mode not in ("exact", "truncated"):
         raise ValueError(f"mode must be 'exact' or 'truncated', got {mode!r}")
+    if engine not in ("fused", "reference"):
+        raise ValueError(
+            f"engine must be 'fused' or 'reference', got {engine!r}"
+        )
+    if engine == "fused":
+        from .engine import fused_backward
+        return fused_backward(network, record, grad_outputs, mode=mode,
+                              precision=precision)
     outputs = record.outputs
     if grad_outputs.shape != outputs.shape:
         raise ShapeError(

@@ -1,0 +1,566 @@
+"""Fused, vectorized simulation engine for the core forward/backward loop.
+
+The step-wise reference path (:meth:`SpikingNetwork.run` with
+``engine="step"``) advances the whole stack one time step at a time,
+dispatching through ``SpikingLinear.step`` -> ``neuron.step`` Python calls
+and performing one small ``(batch, n_in) @ (n_in, n_out)`` matmul per layer
+per step.  For the typical benchmark shapes (batch 32, T 100) that is
+hundreds of tiny BLAS calls plus thousands of Python-level dispatches —
+the dominant cost of every experiment in the repo.
+
+This module removes that overhead by restructuring the loop nest.  The
+network is feedforward and layer ``l`` at step ``t`` depends only on layer
+``l-1`` at steps ``<= t`` (eq. 9 couples same-step outputs, never future
+ones), so the time-major loop can be legally reordered layer-major: run
+layer 0 over the entire sequence, then layer 1, and so on.  Per layer the
+work then splits into
+
+* **linear scans** — the synapse filter ``k[t] = alpha k[t-1] + x[t]``
+  (eq. 9) and its adjoint are first-order recurrences evaluated in place
+  over a preallocated ``(batch, T, n)`` buffer (:func:`exp_scan`,
+  :func:`exp_scan_reverse`); each step is a fused elementwise update on a
+  buffer slice, with no per-step allocation;
+* **one batched matmul** — the crossbar product ``g = k W^T`` (eq. 7) for
+  *all* time steps at once: ``(batch*T, n_in) @ (n_in, n_out)``, which is
+  where BLAS actually wins;
+* **a thin nonlinear scan** — the spike/threshold recurrence (eqs. 6, 8,
+  10) is inherently sequential (the spike at ``t`` feeds the reset filter
+  at ``t+1``) but involves only elementwise work on ``(batch, n_out)``
+  slices, again over preallocated buffers.
+
+The backward pass (:func:`fused_backward`) applies the same split to the
+BPTT adjoints of :mod:`repro.core.backprop`: the sequential part is the
+elementwise ``delta_v`` recurrence; the weight gradient collapses to a
+single ``tensordot`` over ``(batch, T)`` and the input gradient to one
+batched matmul followed by a reverse scan.
+
+Precision: every entry point accepts ``precision="float32"|"float64"``
+(:func:`resolve_precision`); float32 halves memory traffic and is
+typically faster, at the cost of spike-level equivalence with the float64
+reference (near-threshold membrane values may round across ``v_th``).
+
+Equivalence with the step-wise reference (same spikes, membrane traces and
+gradients to tolerance) is tested in ``tests/unit/test_engine.py``; the
+speedup is measured by ``benchmarks/bench_throughput.py`` and recorded in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ShapeError
+
+try:  # scipy is optional; the engine falls back to dense BLAS without it.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sparse = None
+
+__all__ = [
+    "PRECISIONS",
+    "resolve_precision",
+    "exp_scan",
+    "exp_scan_reverse",
+    "fused_layer_forward",
+    "fused_run",
+    "fused_backward",
+]
+
+#: Supported precision names and their dtypes.
+PRECISIONS = {"float32": np.float32, "float64": np.float64}
+
+#: Use the CSR product when the spike density is below this and the input
+#: is large enough for the conversion to pay off.
+SPARSE_DENSITY_THRESHOLD = 0.2
+_SPARSE_MIN_SIZE = 1 << 14
+
+
+def resolve_precision(precision) -> np.dtype | None:
+    """Map ``"float32"``/``"float64"`` (or a dtype-like) to a numpy dtype.
+
+    ``None`` passes through (meaning "caller's default").
+    """
+    if precision is None:
+        return None
+    if isinstance(precision, str):
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {sorted(PRECISIONS)}, "
+                f"got {precision!r}"
+            )
+        return np.dtype(PRECISIONS[precision])
+    return np.dtype(precision)
+
+
+# -- scan kernels -----------------------------------------------------------
+
+def exp_scan(xs: np.ndarray, decay: float, out: np.ndarray | None = None) -> np.ndarray:
+    """Causal first-order scan ``y[t] = decay*y[t-1] + x[t]`` along axis 1.
+
+    ``xs`` has shape ``(batch, T, n)``.  The scan is evaluated in place
+    over ``out`` (allocated once when omitted); each step is two fused
+    elementwise ops on a ``(batch, n)`` slice.  ``out`` may alias ``xs``.
+    """
+    xs = np.asarray(xs)
+    if out is None:
+        out = np.empty_like(xs)
+    steps = xs.shape[1]
+    if steps == 0:
+        return out
+    out[:, 0] = xs[:, 0]
+    if out is xs:
+        scratch = np.empty(xs.shape[::2], dtype=xs.dtype)  # (batch, n)
+        for t in range(1, steps):
+            np.multiply(out[:, t - 1], decay, out=scratch)
+            out[:, t] += scratch
+    else:
+        for t in range(1, steps):
+            cur = out[:, t]
+            np.multiply(out[:, t - 1], decay, out=cur)
+            cur += xs[:, t]
+    return out
+
+
+def _as_csr(flat: np.ndarray):
+    """Cheap CSR view of a sparse ``(m, n)`` spike matrix, or ``None``.
+
+    ``scipy.sparse.csr_matrix(dense)`` costs as much as the GEMM it is
+    meant to replace, so the index structure is built directly: one
+    ``flatnonzero`` scan (indices come out sorted, i.e. canonical CSR
+    order) plus a ``searchsorted`` for the row pointers.  Returns ``None``
+    when scipy is missing, the matrix is small, or the density is too high
+    for the sparse product to win.
+    """
+    if _sparse is None or flat.size < _SPARSE_MIN_SIZE:
+        return None
+    m, n = flat.shape
+    raveled = np.ascontiguousarray(flat).reshape(-1)
+    # Explicit bool compare first: flatnonzero on a float array pays an
+    # extra full-size temporary and runs ~3x slower.
+    idx = np.flatnonzero(raveled != 0)
+    if idx.size > SPARSE_DENSITY_THRESHOLD * flat.size:
+        return None
+    indptr = np.searchsorted(idx, np.arange(0, (m + 1) * n, n))
+    return _sparse.csr_matrix(
+        (raveled[idx], idx % n, indptr), shape=(m, n)
+    )
+
+
+def spike_matmul(flat_x: np.ndarray, w_t: np.ndarray, csr=None) -> np.ndarray:
+    """``flat_x @ w_t`` exploiting spike sparsity when profitable.
+
+    ``flat_x`` is a ``(batch*T, n_in)`` spike matrix (typically a few
+    percent nonzero), ``w_t`` a dense ``(n_in, n_out)`` weight transpose.
+    Falls back to the dense BLAS product when the input is dense or small.
+    ``csr`` short-circuits the conversion when the caller already holds
+    one for ``flat_x``.
+    """
+    if csr is None:
+        csr = _as_csr(flat_x)
+    if csr is None:
+        return flat_x @ w_t
+    return csr @ w_t
+
+
+def spike_outer(flat_dv: np.ndarray, flat_x: np.ndarray, csr=None) -> np.ndarray:
+    """``flat_dv.T @ flat_x`` — the BPTT weight gradient contraction.
+
+    ``flat_dv`` is the dense ``(batch*T, n_out)`` membrane adjoint and
+    ``flat_x`` the ``(batch*T, n_in)`` presynaptic spikes; when the spikes
+    are sparse the contraction runs as a CSC-dense product over the
+    nonzeros only.  ``csr`` reuses a conversion the forward pass already
+    paid for.
+    """
+    if csr is None:
+        csr = _as_csr(flat_x)
+    if csr is None:
+        return flat_dv.T @ flat_x
+    return np.ascontiguousarray((csr.T @ flat_dv).T)
+
+
+def exp_scan_reverse(xs: np.ndarray, decay: float,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    """Anti-causal scan ``a[t] = x[t] + decay*a[t+1]`` along axis 1.
+
+    The adjoint of :func:`exp_scan`.  Supports ``out is xs`` (in-place),
+    which is how :func:`fused_backward` turns the batched ``delta_v W``
+    product into the synapse-filter adjoint without a second buffer.
+    """
+    xs = np.asarray(xs)
+    if out is None:
+        out = np.empty_like(xs)
+    steps = xs.shape[1]
+    if steps == 0:
+        return out
+    if out is not xs:
+        out[:, steps - 1] = xs[:, steps - 1]
+    scratch = np.empty(xs.shape[::2], dtype=xs.dtype)  # (batch, n)
+    for t in range(steps - 2, -1, -1):
+        np.multiply(out[:, t + 1], decay, out=scratch)
+        if out is xs:
+            out[:, t] += scratch
+        else:
+            np.add(xs[:, t], scratch, out=out[:, t])
+    return out
+
+
+# -- forward ----------------------------------------------------------------
+
+def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
+                        _csr=None) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Run one :class:`~repro.core.layers.SpikingLinear` over a whole sequence.
+
+    Parameters
+    ----------
+    layer:
+        The layer to run (state is reinitialised, as in ``layer.run``).
+    xs:
+        Input spikes, shape ``(batch, T, n_in)``; dtype selects precision.
+    need_k:
+        Materialise the full synapse-filter trace ``k`` for recording.
+        The fused math never needs it (the filter is applied *after* the
+        crossbar product — the two commute), so pure inference skips the
+        ``(batch, T, n_in)`` buffer entirely.
+
+    Returns
+    -------
+    (spikes, k, v):
+        ``spikes`` and ``v`` have shape ``(batch, T, n_out)``; ``k`` is the
+        synapse-filter trace ``(batch, T, n_in)`` for adaptive layers when
+        ``need_k`` (else ``None``), and always ``None`` for hard-reset
+        layers.  These are exactly the tensors a
+        :class:`~repro.core.layers.LayerStepRecord` holds, so recording is
+        free.  The layer/neuron incremental state is left at the final
+        step's values, matching the step-wise path.
+    """
+    xs = np.asarray(xs)
+    if xs.ndim != 3:
+        raise ShapeError(f"{layer.name}: expected (batch, T, n_in), "
+                         f"got {xs.shape}")
+    if xs.shape[2] != layer.n_in:
+        raise ShapeError(f"{layer.name}: expected {layer.n_in} inputs, "
+                         f"got {xs.shape[2]}")
+    if layer.neuron_kind == "adaptive":
+        return _fused_adaptive_forward(layer, xs, need_k, _csr)
+    return _fused_hard_reset_forward(layer, xs, _csr)
+
+
+def _fused_adaptive_forward(layer, xs, need_k, csr=None):
+    """Adaptive-threshold layer: sparse matmul -> scan -> threshold scan.
+
+    The synapse filter (eq. 9) and the crossbar product (eq. 7) are both
+    linear, so ``filter(x) @ W^T == filter(x @ W^T)``.  Evaluating the
+    matmul first keeps its input the *raw spikes* — a few-percent-dense
+    0/1 matrix that :func:`spike_matmul` contracts over nonzeros only —
+    and moves the scan from the wide ``n_in`` axis to the narrow ``n_out``
+    axis.
+    """
+    dtype = xs.dtype
+    batch, steps, n_in = xs.shape
+    n_out = layer.n_out
+    neuron = layer.neuron
+    alpha = layer.alpha
+    theta = neuron.params.theta
+    v_th = neuron.params.v_th
+    beta = neuron.beta_r
+    if steps == 0:
+        layer.reset_state(batch, dtype=dtype)
+        empty = np.zeros((batch, 0, n_out), dtype=dtype)
+        k = np.zeros((batch, 0, n_in), dtype=dtype) if need_k else None
+        return empty, k, empty.copy()
+
+    # Crossbar product of the raw spikes for every step at once, then the
+    # synapse filter as an in-place scan over (batch, T, n_out).  ``gv``
+    # starts life as g[t] and is rewritten to v[t] = g[t] - theta*h[t].
+    w_t = np.ascontiguousarray(layer.weight.T, dtype=dtype)
+    gv = np.ascontiguousarray(
+        spike_matmul(xs.reshape(batch * steps, n_in), w_t, csr=csr)
+    ).reshape(batch, steps, n_out)
+    exp_scan(gv, alpha, out=gv)
+
+    k = exp_scan(xs, alpha) if need_k else None
+
+    spikes = np.empty((batch, steps, n_out), dtype=dtype)
+    h = np.zeros((batch, n_out), dtype=dtype)
+    scratch = np.empty((batch, n_out), dtype=dtype)
+    o_prev = None
+    for t in range(steps):
+        # h[t] = beta*h[t-1] + O[t-1]   (eq. 8)
+        h *= beta
+        if o_prev is not None:
+            h += o_prev
+        v_t = gv[:, t]
+        np.multiply(h, theta, out=scratch)
+        v_t -= scratch                    # v[t] = g[t] - theta*h[t] (eq. 6)
+        o_t = spikes[:, t]
+        o_t[...] = v_t >= v_th            # O[t] = U(v[t] - Vth) (eq. 10/11)
+        o_prev = o_t
+
+    # Leave incremental state at the final step, like the step-wise path.
+    if k is not None:
+        layer.k = k[:, -1].copy()
+    else:
+        # Final filter state without the full trace: k[T-1] is the
+        # alpha^(T-1-t)-weighted sum of the inputs.
+        decay_powers = alpha ** np.arange(steps - 1, -1, -1, dtype=np.float64)
+        layer.k = np.matmul(decay_powers.astype(dtype), xs)
+    neuron.h = h
+    neuron.last_output = spikes[:, -1].copy()
+    return spikes, k, gv
+
+
+def _fused_hard_reset_forward(layer, xs, csr=None):
+    """Hard-reset layer: batched matmul -> leaky-integrate/reset scan."""
+    dtype = xs.dtype
+    batch, steps, n_in = xs.shape
+    n_out = layer.n_out
+    neuron = layer.neuron
+    alpha = neuron.alpha
+    v_th = neuron.params.v_th
+    if steps == 0:
+        layer.reset_state(batch, dtype=dtype)
+        empty = np.zeros((batch, 0, n_out), dtype=dtype)
+        return empty, None, empty.copy()
+
+    # Weighted input for every step at once (sparse over the raw spikes);
+    # fold the discretisation gain into the weight so the scan below is
+    # pure elementwise work.
+    w_t = np.ascontiguousarray(layer.weight.T, dtype=dtype)
+    if neuron.input_gain != 1.0:
+        w_t = w_t * dtype.type(neuron.input_gain)
+    gv = np.ascontiguousarray(
+        spike_matmul(xs.reshape(batch * steps, n_in), w_t, csr=csr)
+    ).reshape(batch, steps, n_out)
+
+    spikes = np.empty((batch, steps, n_out), dtype=dtype)
+    v_post = np.zeros((batch, n_out), dtype=dtype)
+    scratch = np.empty((batch, n_out), dtype=dtype)
+    for t in range(steps):
+        v_t = gv[:, t]
+        np.multiply(v_post, alpha, out=scratch)
+        v_t += scratch                    # v_pre[t] = alpha*v_post[t-1] + j[t]
+        o_t = spikes[:, t]
+        o_t[...] = v_t >= v_th
+        np.subtract(1.0, o_t, out=scratch)
+        np.multiply(v_t, scratch, out=v_post)   # hard reset (eq. 1b)
+
+    # State parity with the step-wise path (whose reset_state zeroes the
+    # unused synapse-filter buffer for hard-reset layers).
+    layer.k = np.zeros((batch, n_in), dtype=dtype)
+    neuron.v = v_post
+    return spikes, None, gv
+
+
+def fused_run(network, inputs: np.ndarray, record: bool = False):
+    """Fused forward pass over the whole stack; drop-in for the step loop.
+
+    ``inputs`` must already be a validated ``(batch, T, n_input)`` array of
+    the desired precision (``SpikingNetwork.run`` handles coercion).
+    Returns ``(outputs, RunRecord | None)`` identical in structure to the
+    step-wise path; the per-layer ``k``/``v``/``spikes`` tensors come for
+    free because the engine materialises them anyway for the batched
+    matmuls.
+    """
+    from .layers import LayerStepRecord   # local import: avoids a cycle
+    from .network import RunRecord
+
+    x = inputs
+    layer_records: list[LayerStepRecord] = []
+    input_csrs = []
+    spikes = inputs
+    for layer in network.layers:
+        csr = _as_csr(x.reshape(-1, layer.n_in))
+        input_csrs.append(csr)
+        spikes, k, v = fused_layer_forward(layer, x, need_k=record, _csr=csr)
+        if record:
+            layer_records.append(LayerStepRecord(k=k, v=v, spikes=spikes))
+        x = spikes
+    if not record:
+        return spikes, None
+    run_record = RunRecord(inputs=inputs, layers=layer_records)
+    # Stash the CSR conversions so a following fused_backward on this
+    # record reuses them for its weight-gradient contractions.
+    run_record._input_csrs = input_csrs
+    return spikes, run_record
+
+
+# -- backward ---------------------------------------------------------------
+
+def fused_backward(network, record, grad_outputs: np.ndarray,
+                   mode: str = "exact", precision=None):
+    """Fused BPTT through a recorded run; drop-in for
+    :func:`repro.core.backprop.backward`.
+
+    The adjoint recursions of the reference implementation are split the
+    same way as the forward pass: the ``delta_v`` recurrence stays a
+    sequential elementwise scan over preallocated ``(batch, T, n)``
+    buffers, while the weight gradient becomes one ``tensordot`` over
+    ``(batch, T)`` and the input gradient one batched matmul plus a
+    reverse exponential scan (exact mode's ``alpha``-carry).
+
+    ``precision`` defaults to the record's dtype (so a float32 forward run
+    gets a float32 backward); pass ``"float64"`` to upcast.
+    """
+    if mode not in ("exact", "truncated"):
+        raise ValueError(f"mode must be 'exact' or 'truncated', got {mode!r}")
+    from .backprop import GradientResult   # local import: avoids a cycle
+
+    outputs = record.outputs
+    if grad_outputs.shape != outputs.shape:
+        raise ShapeError(
+            f"grad_outputs shape {grad_outputs.shape} != outputs {outputs.shape}"
+        )
+    dtype = resolve_precision(precision) or outputs.dtype
+
+    grad_spikes = np.asarray(grad_outputs, dtype=dtype)
+    cached_csrs = getattr(record, "_input_csrs", None)
+    weight_grads: list[np.ndarray] = [None] * len(network.layers)
+    input_grad_fn = None
+    for index in range(len(network.layers) - 1, -1, -1):
+        layer = network.layers[index]
+        layer_record = record.layers[index]
+        csr = None
+        if cached_csrs is not None:
+            csr = cached_csrs[index]
+            if csr is not None and csr.dtype != dtype:
+                csr = None
+        defer = index == 0
+        if layer.neuron_kind == "adaptive":
+            w_grad, grad_inputs_fn = _fused_backward_adaptive(
+                layer, layer_record, record.layer_input(index),
+                grad_spikes, mode, dtype, csr, defer,
+            )
+        else:
+            w_grad, grad_inputs_fn = _fused_backward_hard_reset(
+                layer, layer_record, record.layer_input(index),
+                grad_spikes, dtype, csr, defer,
+            )
+        weight_grads[index] = w_grad
+        if index == 0:
+            # The network-input gradient is only consumed by sensitivity
+            # analyses, never by training — defer its dense matmul until
+            # someone actually reads GradientResult.input_grad.
+            input_grad_fn = grad_inputs_fn
+        else:
+            grad_spikes = grad_inputs_fn()
+    return GradientResult(weight_grads=weight_grads, input_grad=None,
+                          input_grad_fn=input_grad_fn)
+
+
+def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
+                             mode, dtype, csr=None, defer=False):
+    """Adaptive-layer adjoints with the matmuls hoisted out of the time loop.
+
+    Sequential part (elementwise, reverse time)::
+
+        delta_v[t] = (dE/dO[t] + reset_term[t]) * eps[t]
+        exact:      reset_term[t] = a_h[t+1],  a_h[t] = beta*a_h[t+1] - theta*delta_v[t]
+        truncated:  reset_term[t] = -theta * delta_v[t+1]
+
+    Hoisted part — with ``e = exp_scan_reverse(delta_v, alpha)``, the
+    synapse filter's adjoint.  The filter is linear, so it moves off the
+    recorded trace ``k`` and onto the adjoint
+    (``sum_t delta_v[t]^T k[t] == sum_s e[s]^T x[s]``), and it commutes
+    with the weight product (``revscan(delta_v @ W) == e @ W``)::
+
+        dE/dW    = sum_{b,s} e[b,s]^T x[b,s]    (sparse-aware contraction)
+        dE/dx[t] = e @ W          (exact)
+                 = delta_v @ W    (truncated; eq. 13 drops the alpha-carry)
+
+    Working from the raw presynaptic spikes ``x`` instead of ``k`` lets
+    :func:`spike_outer` contract over the spike nonzeros only, and is why
+    the record's ``k`` tensor is never touched here.
+    """
+    params = layer.params
+    theta = params.theta
+    beta = layer.neuron.beta_r
+
+    v = np.asarray(layer_record.v, dtype=dtype)
+    batch, steps, n_out = v.shape
+
+    eps = np.asarray(layer.surrogate.derivative(v - params.v_th), dtype=dtype)
+
+    dv = np.empty((batch, steps, n_out), dtype=dtype)
+    scratch = np.empty((batch, n_out), dtype=dtype)
+    if mode == "exact":
+        a_h = np.zeros((batch, n_out), dtype=dtype)
+        for t in range(steps - 1, -1, -1):
+            dv_t = dv[:, t]
+            np.add(grad_spikes[:, t], a_h, out=dv_t)
+            dv_t *= eps[:, t]
+            a_h *= beta
+            np.multiply(dv_t, theta, out=scratch)
+            a_h -= scratch
+    else:
+        np.multiply(grad_spikes[:, -1], eps[:, -1], out=dv[:, -1])
+        for t in range(steps - 2, -1, -1):
+            np.multiply(dv[:, t + 1], theta, out=scratch)
+            np.subtract(grad_spikes[:, t], scratch, out=dv[:, t])
+            dv[:, t] *= eps[:, t]
+
+    e = exp_scan_reverse(dv, layer.alpha)
+    flat_x = np.asarray(layer_inputs, dtype=dtype).reshape(
+        batch * steps, layer.n_in
+    )
+    w_grad = spike_outer(e.reshape(batch * steps, n_out), flat_x, csr=csr)
+
+    weight = np.asarray(layer.weight, dtype=dtype)
+    if defer and weight is layer.weight:
+        # The closure may be called after an in-place optimizer step;
+        # snapshot the weights the forward pass actually used.
+        weight = weight.copy()
+    upstream = e if mode == "exact" else dv
+
+    def grad_inputs_fn() -> np.ndarray:
+        return (upstream.reshape(batch * steps, n_out) @ weight).reshape(
+            batch, steps, layer.n_in
+        )
+
+    return w_grad, grad_inputs_fn
+
+
+def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
+                               grad_spikes, dtype, csr=None, defer=False):
+    """Hard-reset adjoints with the matmuls hoisted (reset gate detached)."""
+    params = layer.params
+    alpha = layer.neuron.alpha
+    input_gain = getattr(layer.neuron, "input_gain", 1.0)
+
+    v_pre = np.asarray(layer_record.v, dtype=dtype)
+    spikes = np.asarray(layer_record.spikes, dtype=dtype)
+    layer_inputs = np.asarray(layer_inputs, dtype=dtype)
+    batch, steps, n_out = v_pre.shape
+
+    eps = np.asarray(layer.surrogate.derivative(v_pre - params.v_th),
+                     dtype=dtype)
+
+    # delta_v[t] = dE/dO[t]*eps[t] + alpha*(1 - O[t])*delta_v[t+1]
+    dv = np.empty((batch, steps, n_out), dtype=dtype)
+    scratch = np.empty((batch, n_out), dtype=dtype)
+    np.multiply(grad_spikes[:, -1], eps[:, -1], out=dv[:, -1])
+    for t in range(steps - 2, -1, -1):
+        dv_t = dv[:, t]
+        np.subtract(1.0, spikes[:, t], out=scratch)
+        scratch *= dv[:, t + 1]
+        scratch *= alpha
+        np.multiply(grad_spikes[:, t], eps[:, t], out=dv_t)
+        dv_t += scratch
+
+    weight = np.asarray(layer.weight, dtype=dtype)
+    if defer and weight is layer.weight:
+        # Snapshot: the closure may run after an in-place optimizer step.
+        weight = weight.copy()
+    flat_x = layer_inputs.reshape(batch * steps, layer.n_in)
+    w_grad = spike_outer(dv.reshape(batch * steps, n_out), flat_x, csr=csr)
+    if input_gain != 1.0:
+        w_grad *= input_gain
+
+    def grad_inputs_fn() -> np.ndarray:
+        grad_inputs = (dv.reshape(batch * steps, n_out) @ weight).reshape(
+            batch, steps, layer.n_in
+        )
+        if input_gain != 1.0:
+            grad_inputs *= input_gain
+        return grad_inputs
+
+    return w_grad, grad_inputs_fn

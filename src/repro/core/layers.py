@@ -131,16 +131,31 @@ class SpikingLinear:
         return self.neuron.step(j)
 
     def run(self, xs: np.ndarray, record: bool = False,
-            dtype=np.float64) -> tuple[np.ndarray, LayerStepRecord | None]:
+            dtype=np.float64,
+            engine: str = "fused") -> tuple[np.ndarray, LayerStepRecord | None]:
         """Run a whole sequence ``xs`` of shape (batch, T, n_in).
 
         Resets state first.  Returns ``(spikes, record)`` where ``spikes``
-        has shape (batch, T, n_out).
+        has shape (batch, T, n_out).  ``engine="fused"`` (default) uses the
+        vectorized kernels in :mod:`repro.core.engine`; ``engine="step"``
+        runs the per-step reference loop.
         """
+        if engine not in ("fused", "step"):
+            raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
         xs = np.asarray(xs, dtype=dtype)
         if xs.ndim != 3:
             raise ShapeError(f"{self.name}: expected (batch, T, n_in), "
                              f"got {xs.shape}")
+        if engine == "fused":
+            from .engine import fused_layer_forward
+            spikes, ks, vs = fused_layer_forward(self, xs, need_k=record)
+            rec = None
+            if record:
+                rec = LayerStepRecord(
+                    k=ks if self.neuron_kind == "adaptive" else None,
+                    v=vs, spikes=spikes,
+                )
+            return spikes, rec
         batch, steps, _ = xs.shape
         self.reset_state(batch, dtype=dtype)
         out = np.zeros((batch, steps, self.n_out), dtype=dtype)

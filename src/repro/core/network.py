@@ -1,11 +1,26 @@
 """The feedforward spiking network (paper Fig. 2/3).
 
 A :class:`SpikingNetwork` is a stack of :class:`~repro.core.layers.SpikingLinear`
-layers run *time-step major*: at each step ``t`` the input spikes propagate
-through every layer (eq. 9 couples layer ``l``'s synapse filter to layer
-``l-1``'s output *at the same step*), then ``t`` advances.  This matches
-the unfolding in the paper's Fig. 2 and is what the BPTT implementation in
-:mod:`repro.core.backprop` differentiates.
+layers.  Two execution engines produce identical dynamics:
+
+* ``engine="step"`` — the *step-wise reference path*: at each step ``t``
+  the input spikes propagate through every layer (eq. 9 couples layer
+  ``l``'s synapse filter to layer ``l-1``'s output *at the same step*),
+  then ``t`` advances.  This is the literal unfolding of the paper's
+  Fig. 2 — easy to audit, and what :meth:`SpikingNetwork.step` exposes for
+  closed-loop use — but it pays one small matmul and several Python
+  dispatches per layer per step.
+
+* ``engine="fused"`` (the default) — the vectorized engine in
+  :mod:`repro.core.engine`: because the stack is feedforward and causal,
+  the loop nest is reordered layer-major, the synapse filter becomes an
+  in-place exponential scan over ``(batch, T, n)`` buffers, and the
+  crossbar product collapses to one batched matmul per layer.  Spikes,
+  membrane traces and BPTT gradients match the reference to tolerance
+  (``tests/unit/test_engine.py``); throughput is several times higher
+  (``docs/performance.md``).
+
+Both engines support ``precision="float32"|"float64"``.
 
 A recorded run (:class:`RunRecord`) captures, per layer, the synapse-filter
 traces ``k``, membrane values ``v`` and output spikes — everything backward
@@ -18,6 +33,7 @@ import numpy as np
 
 from ..common.errors import ShapeError
 from ..common.rng import RandomState, as_random_state
+from .engine import fused_run, resolve_precision
 from .layers import LayerStepRecord, SpikingLinear
 from .neurons import NeuronParameters
 from .surrogate import SurrogateGradient
@@ -27,6 +43,18 @@ __all__ = ["SpikingNetwork", "RunRecord"]
 
 class RunRecord:
     """Everything captured from one recorded forward run.
+
+    Memory layout: every tensor is a C-contiguous array indexed
+    ``[batch, t, neuron]`` — batch-major, time second, channel last — so a
+    single time step ``tensor[:, t, :]`` is a strided ``(batch, n)`` slice
+    (what the step-wise loops touch) while a whole trace flattens to
+    ``(batch*T, n)`` without a copy (what the fused engine's batched
+    matmuls consume).  Per layer the record holds ``k`` (synapse-filter
+    trace, ``(batch, T, n_in)``, ``None`` for hard-reset layers), ``v``
+    (membrane values, pre-reset for HR) and ``spikes`` (both
+    ``(batch, T, n_out)``).  The dtype is whatever precision the run used;
+    both engines produce the same layout, so BPTT and the analysis code
+    never need to know which engine recorded it.
 
     Attributes
     ----------
@@ -104,7 +132,8 @@ class SpikingNetwork:
         return spikes
 
     def run(self, inputs: np.ndarray, record: bool = False,
-            dtype=np.float64) -> tuple[np.ndarray, RunRecord | None]:
+            dtype=np.float64, engine: str = "fused",
+            precision: str | None = None) -> tuple[np.ndarray, RunRecord | None]:
         """Run a batch of spike sequences through the network.
 
         Parameters
@@ -114,6 +143,14 @@ class SpikingNetwork:
             (event counts) — the filters are linear.
         record:
             Capture per-layer traces for BPTT / analysis.
+        dtype:
+            Array dtype (kept for backwards compatibility; prefer
+            ``precision``).
+        engine:
+            ``"fused"`` (default, :mod:`repro.core.engine`) or ``"step"``
+            (the per-step reference loop).  Outputs agree to tolerance.
+        precision:
+            ``"float32"`` or ``"float64"``; overrides ``dtype`` when given.
 
         Returns
         -------
@@ -121,6 +158,11 @@ class SpikingNetwork:
             ``outputs`` has shape (batch, T, n_output); ``record`` is a
             :class:`RunRecord` or ``None``.
         """
+        if engine not in ("fused", "step"):
+            raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
+        resolved = resolve_precision(precision)
+        if resolved is not None:
+            dtype = resolved
         inputs = np.asarray(inputs, dtype=dtype)
         if inputs.ndim != 3:
             raise ShapeError(f"expected (batch, T, n_in), got {inputs.shape}")
@@ -128,6 +170,8 @@ class SpikingNetwork:
             raise ShapeError(
                 f"expected {self.sizes[0]} input channels, got {inputs.shape[2]}"
             )
+        if engine == "fused":
+            return fused_run(self, inputs, record=record)
         batch, steps, _ = inputs.shape
         self.reset_state(batch, dtype=dtype)
 

@@ -19,6 +19,19 @@ Two models from Section II of the paper:
 Both neurons expose the same ``reset_state`` / ``step`` interface operating
 on ``(batch, n)`` arrays so that a trained network can be re-evaluated with
 either dynamic (the paper's Table II HR swap).
+
+These classes *are* the step-wise reference implementation: ``step`` is
+called once per time step by ``SpikingLinear.step`` and holds the
+incremental state (``h``/``last_output`` for adaptive, ``v`` for hard
+reset).  The fused engine (:mod:`repro.core.engine`, the default for
+``SpikingNetwork.run``) evaluates the *same* recurrences as whole-sequence
+scans over ``(batch, T, n)`` buffers — it bypasses ``step`` entirely for
+speed but deposits the final-step state back into these objects, so code
+that inspects ``neuron.h`` / ``neuron.v`` or calls
+:meth:`AdaptiveLIFNeuron.adaptive_threshold` after a run sees identical
+values under either engine.  Equivalence (same spikes and membrane traces)
+is enforced by ``tests/unit/test_engine.py`` and
+``tests/property/test_neuron_equivalence.py``.
 """
 
 from __future__ import annotations

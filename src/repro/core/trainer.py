@@ -46,6 +46,14 @@ class TrainerConfig(BaseConfig):
         ``"exact"`` or ``"truncated"`` BPTT (see :mod:`repro.core.backprop`).
     shuffle:
         Reshuffle the training set every epoch.
+    engine:
+        ``"fused"`` (default, :mod:`repro.core.engine`) or ``"step"`` —
+        which simulation engine drives the forward and backward passes.
+    precision:
+        ``"float64"`` (default) or ``"float32"`` array precision for the
+        forward run, recorded traces and gradients.  With
+        ``engine="step"`` it applies to the forward pass only — the
+        reference backward always computes gradients in float64.
     """
 
     epochs: int = 10
@@ -56,6 +64,8 @@ class TrainerConfig(BaseConfig):
     grad_clip: float = 0.0
     gradient_mode: str = "exact"
     shuffle: bool = True
+    engine: str = "fused"
+    precision: str = "float64"
 
     def validate(self) -> None:
         self.require_positive("epochs")
@@ -68,6 +78,11 @@ class TrainerConfig(BaseConfig):
                      f"got {self.gradient_mode!r}")
         self.require(self.optimizer in ("sgd", "adam", "adamw"),
                      f"optimizer must be sgd|adam|adamw, got {self.optimizer!r}")
+        self.require(self.engine in ("fused", "step"),
+                     f"engine must be fused|step, got {self.engine!r}")
+        self.require(self.precision in ("float32", "float64"),
+                     f"precision must be float32|float64, "
+                     f"got {self.precision!r}")
 
 
 @dataclasses.dataclass
@@ -122,10 +137,15 @@ class Trainer:
     # -- single steps ------------------------------------------------------
     def train_batch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
         """One forward/backward/update on a batch; returns the batch loss."""
-        outputs, record = self.network.run(inputs, record=True)
+        cfg = self.config
+        outputs, record = self.network.run(
+            inputs, record=True, engine=cfg.engine, precision=cfg.precision
+        )
         loss_value, grad_outputs = self.loss.value_and_grad(outputs, targets)
+        backward_engine = "fused" if cfg.engine == "fused" else "reference"
         result = backward(self.network, record, grad_outputs,
-                          mode=self.config.gradient_mode)
+                          mode=cfg.gradient_mode, engine=backward_engine,
+                          precision=cfg.precision)
         grads = result.weight_grads
         if self.config.grad_clip > 0:
             clip_grad_norm(grads, self.config.grad_clip)
@@ -158,7 +178,9 @@ class Trainer:
         hard-reset swap evaluation.
         """
         model = network if network is not None else self.network
-        outputs = run_in_batches(model, inputs, self.config.batch_size)
+        outputs = run_in_batches(model, inputs, self.config.batch_size,
+                                 engine=self.config.engine,
+                                 precision=self.config.precision)
         return self.loss.metrics(outputs, targets)
 
     # -- full loop ----------------------------------------------------------
@@ -186,10 +208,12 @@ class Trainer:
 
 
 def run_in_batches(network: SpikingNetwork, inputs: np.ndarray,
-                   batch_size: int, dtype=np.float64) -> np.ndarray:
+                   batch_size: int, dtype=np.float64, engine: str = "fused",
+                   precision: str | None = None) -> np.ndarray:
     """Forward-only run over a large array, batched to bound memory."""
     chunks = []
     for start in range(0, inputs.shape[0], batch_size):
-        outputs, _ = network.run(inputs[start:start + batch_size], dtype=dtype)
+        outputs, _ = network.run(inputs[start:start + batch_size], dtype=dtype,
+                                 engine=engine, precision=precision)
         chunks.append(outputs)
     return np.concatenate(chunks, axis=0)

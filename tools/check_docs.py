@@ -1,0 +1,50 @@
+"""Documentation checker: every local markdown link must resolve.
+
+Walks README.md and docs/*.md, extracts relative links (ignoring web
+URLs and pure anchors) and fails if any target file is missing. This is
+the `make docs` target — it keeps the README's promise that every paper
+artifact is reachable from it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def check(markdown: Path) -> list[str]:
+    errors = []
+    text = markdown.read_text(encoding="utf-8")
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (markdown.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{markdown.relative_to(REPO)}: broken link {target}")
+    return errors
+
+
+def main() -> int:
+    sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    missing = [str(s.relative_to(REPO)) for s in sources if not s.exists()]
+    if missing:
+        print("missing documentation files:", ", ".join(missing))
+        return 1
+    errors = [e for source in sources for e in check(source)]
+    for error in errors:
+        print(error)
+    checked = len(sources)
+    if errors:
+        print(f"FAIL: {len(errors)} broken link(s) across {checked} files")
+        return 1
+    print(f"OK: all local links resolve across {checked} documentation files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
