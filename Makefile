@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-paper docs quickstart
+.PHONY: test bench bench-json bench-paper docs quickstart
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -15,6 +15,10 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q --benchmark-only \
 		--benchmark-min-rounds=15 --benchmark-warmup=on
+
+## machine-readable throughput numbers (serial vs parallel runtime)
+bench-json:
+	$(PYTHON) tools/bench_to_json.py --out BENCH_throughput.json
 
 ## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
 bench-paper:

@@ -8,15 +8,30 @@ cost model for scaling the experiments.
 
 The forward/backward benchmarks cover both simulation engines: the fused
 vectorized engine (the default everywhere, ``repro.core.engine``) and the
-step-wise reference loop it replaced.  The measured ratio is recorded in
-``docs/performance.md``.
+step-wise reference loop it replaced.  The train-step benchmarks cover the
+parallel runtime: the serial fused trainer (with its workspace arenas)
+against the data-parallel worker pool at 2 workers.  Measured ratios are
+recorded in ``docs/performance.md``; ``make bench-json`` distills the same
+quantities into ``BENCH_throughput.json``.
 """
 
 import numpy as np
 import pytest
 
+from repro.common.benchcfg import (
+    BENCH_FORWARD_BATCH,
+    BENCH_SIZES,
+    BENCH_TRAIN_BATCH,
+    bench_inputs,
+    bench_network,
+)
 from repro.common.rng import RandomState
-from repro.core import CrossEntropyRateLoss, SpikingNetwork, backward
+from repro.core import (
+    CrossEntropyRateLoss,
+    Trainer,
+    TrainerConfig,
+    backward,
+)
 from repro.data.cochlea import Cochlea, CochleaConfig
 from repro.data.speech import synthesize_digit
 from repro.hardware.crossbar import DifferentialCrossbar
@@ -26,12 +41,8 @@ from repro.hardware.neuron_circuit import NeuronCircuitConfig, simulate_neuron
 
 @pytest.fixture(scope="module")
 def forward_setup():
-    net = SpikingNetwork((700, 128, 128, 20), rng=0)
-    for layer in net.layers:
-        layer.weight *= 6.0
-    rng = RandomState(1)
-    x = (rng.random((32, 100, 700)) < 0.03).astype(np.float64)
-    return net, x
+    """Canonical forward bench point (see repro.common.benchcfg)."""
+    return bench_network(), bench_inputs(BENCH_FORWARD_BATCH)
 
 
 def test_forward_throughput(benchmark, forward_setup):
@@ -57,7 +68,7 @@ def test_forward_throughput_float32(benchmark, forward_setup):
 def test_backward_throughput(benchmark, forward_setup):
     """Default path: the fused BPTT kernels."""
     net, x = forward_setup
-    labels = np.arange(32) % 20
+    labels = np.arange(BENCH_FORWARD_BATCH) % BENCH_SIZES[-1]
     loss = CrossEntropyRateLoss()
     out, record = net.run(x, record=True)
     _, grad_out = loss.value_and_grad(out, labels)
@@ -69,7 +80,7 @@ def test_backward_throughput(benchmark, forward_setup):
 def test_backward_throughput_reference(benchmark, forward_setup):
     """The per-step adjoint loops the fused backward is measured against."""
     net, x = forward_setup
-    labels = np.arange(32) % 20
+    labels = np.arange(BENCH_FORWARD_BATCH) % BENCH_SIZES[-1]
     loss = CrossEntropyRateLoss()
     out, record = net.run(x, record=True)
     _, grad_out = loss.value_and_grad(out, labels)
@@ -77,6 +88,49 @@ def test_backward_throughput_reference(benchmark, forward_setup):
     result = benchmark(
         lambda: backward(net, record, grad_out, engine="reference"))
     assert all(np.all(np.isfinite(g)) for g in result.weight_grads)
+
+
+@pytest.fixture
+def train_setup():
+    """Paper-shape training step: batch 64, T=100, 700-128-128-20 MLP.
+
+    Function-scoped on purpose: train-step benchmarks mutate the weights
+    every round, so the serial and parallel variants must each start from
+    the same pristine initialisation to be comparable.
+    """
+    net = bench_network()
+    x = bench_inputs(BENCH_TRAIN_BATCH, seed=3)
+    labels = np.arange(BENCH_TRAIN_BATCH) % BENCH_SIZES[-1]
+    return net, x, labels
+
+
+def _make_trainer(net, workers):
+    return Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+        epochs=1, batch_size=BENCH_TRAIN_BATCH, learning_rate=1e-4,
+        optimizer="adamw", workers=workers))
+
+
+def test_train_step_throughput(benchmark, train_setup):
+    """Serial fused forward+BPTT+update (workspace arenas active)."""
+    net, x, labels = train_setup
+    trainer = _make_trainer(net, workers=0)
+    loss = benchmark(lambda: trainer.train_batch(x, labels))
+    assert np.isfinite(loss)
+
+
+def test_train_step_throughput_workers2(benchmark, train_setup):
+    """Data-parallel training step over a 2-worker shared-memory pool.
+
+    The interesting number on a multi-core machine; on a single core it
+    measures the runtime's dispatch overhead instead.
+    """
+    net, x, labels = train_setup
+    trainer = _make_trainer(net, workers=2)
+    try:
+        loss = benchmark(lambda: trainer.train_batch(x, labels))
+        assert np.isfinite(loss)
+    finally:
+        trainer.close()
 
 
 def test_crossbar_matvec_throughput(benchmark):

@@ -12,6 +12,9 @@ The package is organised as:
 * :mod:`repro.hardware` — the codesigned hardware model: RRAM devices,
   quantization, crossbars, a behavioral analog circuit simulator (MNA),
   the paper's Fig. 6 neuron circuit, and power/energy/area estimation.
+* :mod:`repro.runtime` — the parallel runtime: a shared-memory worker
+  pool for data-parallel training / sharded inference / parallel sweeps,
+  and the workspace buffer arenas the fused engine recycles through.
 * :mod:`repro.autograd` — a minimal reverse-mode AD engine used to
   cross-check the hand-derived BPTT.
 * :mod:`repro.analysis` — spike-train metrics and distances.
@@ -40,8 +43,9 @@ from .core import (
     VanRossumLoss,
     backward,
 )
+from .runtime import WorkerPool, Workspace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RandomState",
@@ -56,5 +60,7 @@ __all__ = [
     "TrainerConfig",
     "VanRossumLoss",
     "backward",
+    "WorkerPool",
+    "Workspace",
     "__version__",
 ]

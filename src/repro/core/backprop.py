@@ -70,7 +70,9 @@ class GradientResult:
 def backward(network: SpikingNetwork, record: RunRecord,
              grad_outputs: np.ndarray, mode: str = "exact",
              engine: str = "fused",
-             precision: str | None = None) -> GradientResult:
+             precision: str | None = None,
+             workspace=None,
+             need_input_grad: bool = True) -> GradientResult:
     """BPTT through a recorded forward run.
 
     Parameters
@@ -93,6 +95,15 @@ def backward(network: SpikingNetwork, record: RunRecord,
     precision:
         ``"float32"`` or ``"float64"`` for the fused engine (defaults to
         the record's dtype).  Ignored by the reference engine.
+    workspace:
+        Optional :class:`~repro.runtime.workspace.Workspace` the fused
+        engine recycles its adjoint buffers through.  Ignored by the
+        reference engine.
+    need_input_grad:
+        ``False`` lets the fused engine skip building the deferred
+        ``input_grad`` closure entirely (training only reads
+        ``weight_grads``); ``input_grad`` is then ``None``.  The
+        reference engine ignores this and always materialises it.
 
     Returns
     -------
@@ -109,7 +120,8 @@ def backward(network: SpikingNetwork, record: RunRecord,
     if engine == "fused":
         from .engine import fused_backward
         return fused_backward(network, record, grad_outputs, mode=mode,
-                              precision=precision)
+                              precision=precision, ws=workspace,
+                              need_input_grad=need_input_grad)
     outputs = record.outputs
     if grad_outputs.shape != outputs.shape:
         raise ShapeError(

@@ -39,6 +39,15 @@ Precision: every entry point accepts ``precision="float32"|"float64"``
 typically faster, at the cost of spike-level equivalence with the float64
 reference (near-threshold membrane values may round across ``v_th``).
 
+Workspace reuse: every entry point also accepts an optional
+``ws``/``workspace`` — a :class:`repro.runtime.workspace.Workspace` — from
+which the large ``(batch, T, n)`` buffers are checked out instead of
+allocated.  The arithmetic is identical either way (buffers are
+``np.empty`` equivalents); the caller (the :class:`~repro.core.trainer.
+Trainer`, or a pool worker) recycles the recorded tensors once the step is
+done, so steady-state training reallocates nothing.  ``ws=None`` (the
+default) keeps the original allocate-per-call behavior.
+
 Equivalence with the step-wise reference (same spikes, membrane traces and
 gradients to tolerance) is tested in ``tests/unit/test_engine.py``; the
 speedup is measured by ``benchmarks/bench_throughput.py`` and recorded in
@@ -121,7 +130,19 @@ def exp_scan(xs: np.ndarray, decay: float, out: np.ndarray | None = None) -> np.
     return out
 
 
-def _as_csr(flat: np.ndarray):
+def _ws_empty(ws, shape, dtype) -> np.ndarray:
+    """``np.empty`` routed through a workspace when one is supplied."""
+    if ws is None:
+        return np.empty(shape, dtype=dtype)
+    return ws.empty(shape, dtype)
+
+
+def _ws_release(ws, *arrays) -> None:
+    if ws is not None:
+        ws.release(*arrays)
+
+
+def _as_csr(flat: np.ndarray, ws=None):
     """Cheap CSR view of a sparse ``(m, n)`` spike matrix, or ``None``.
 
     ``scipy.sparse.csr_matrix(dense)`` costs as much as the GEMM it is
@@ -129,7 +150,8 @@ def _as_csr(flat: np.ndarray):
     ``flatnonzero`` scan (indices come out sorted, i.e. canonical CSR
     order) plus a ``searchsorted`` for the row pointers.  Returns ``None``
     when scipy is missing, the matrix is small, or the density is too high
-    for the sparse product to win.
+    for the sparse product to win.  ``ws`` serves the constant
+    row-boundary scratch from its cache.
     """
     if _sparse is None or flat.size < _SPARSE_MIN_SIZE:
         return None
@@ -140,38 +162,52 @@ def _as_csr(flat: np.ndarray):
     idx = np.flatnonzero(raveled != 0)
     if idx.size > SPARSE_DENSITY_THRESHOLD * flat.size:
         return None
-    indptr = np.searchsorted(idx, np.arange(0, (m + 1) * n, n))
+    bounds = (ws.row_bounds(m, n) if ws is not None
+              else np.arange(0, (m + 1) * n, n))
+    indptr = np.searchsorted(idx, bounds)
     return _sparse.csr_matrix(
         (raveled[idx], idx % n, indptr), shape=(m, n)
     )
 
 
-def spike_matmul(flat_x: np.ndarray, w_t: np.ndarray, csr=None) -> np.ndarray:
+#: Default for ``spike_matmul``'s ``csr``: "not computed yet, decide here".
+_AUTO_CSR = object()
+
+
+def spike_matmul(flat_x: np.ndarray, w_t: np.ndarray, csr=_AUTO_CSR,
+                 out: np.ndarray | None = None) -> np.ndarray:
     """``flat_x @ w_t`` exploiting spike sparsity when profitable.
 
     ``flat_x`` is a ``(batch*T, n_in)`` spike matrix (typically a few
     percent nonzero), ``w_t`` a dense ``(n_in, n_out)`` weight transpose.
     Falls back to the dense BLAS product when the input is dense or small.
-    ``csr`` short-circuits the conversion when the caller already holds
-    one for ``flat_x``.
+    ``csr`` short-circuits the conversion: pass a CSR the caller already
+    holds for ``flat_x``, or ``None`` to assert the input is known dense
+    (skipping the conversion probe entirely).  ``out`` receives the dense
+    product in place (the sparse product allocates its own result and
+    ignores ``out``).
     """
-    if csr is None:
+    if csr is _AUTO_CSR:
         csr = _as_csr(flat_x)
     if csr is None:
+        if out is not None:
+            return np.matmul(flat_x, w_t, out=out)
         return flat_x @ w_t
     return csr @ w_t
 
 
-def spike_outer(flat_dv: np.ndarray, flat_x: np.ndarray, csr=None) -> np.ndarray:
+def spike_outer(flat_dv: np.ndarray, flat_x: np.ndarray,
+                csr=_AUTO_CSR) -> np.ndarray:
     """``flat_dv.T @ flat_x`` — the BPTT weight gradient contraction.
 
     ``flat_dv`` is the dense ``(batch*T, n_out)`` membrane adjoint and
     ``flat_x`` the ``(batch*T, n_in)`` presynaptic spikes; when the spikes
     are sparse the contraction runs as a CSC-dense product over the
-    nonzeros only.  ``csr`` reuses a conversion the forward pass already
-    paid for.
+    nonzeros only.  ``csr`` follows the :func:`spike_matmul` convention:
+    a conversion the forward pass already paid for, ``None`` for "probed
+    and dense" (no re-probe), or the default to probe here.
     """
-    if csr is None:
+    if csr is _AUTO_CSR:
         csr = _as_csr(flat_x)
     if csr is None:
         return flat_dv.T @ flat_x
@@ -182,9 +218,11 @@ def exp_scan_reverse(xs: np.ndarray, decay: float,
                      out: np.ndarray | None = None) -> np.ndarray:
     """Anti-causal scan ``a[t] = x[t] + decay*a[t+1]`` along axis 1.
 
-    The adjoint of :func:`exp_scan`.  Supports ``out is xs`` (in-place),
-    which is how :func:`fused_backward` turns the batched ``delta_v W``
-    product into the synapse-filter adjoint without a second buffer.
+    The adjoint of :func:`exp_scan`.  Supports ``out is xs`` (in-place)
+    for callers that want the adjoint without a second buffer;
+    :func:`fused_backward` itself writes into a distinct buffer (the
+    truncated mode still needs the pre-scan ``delta_v`` afterwards, and
+    workspace reuse makes the second buffer free in steady state).
     """
     xs = np.asarray(xs)
     if out is None:
@@ -207,7 +245,8 @@ def exp_scan_reverse(xs: np.ndarray, decay: float,
 # -- forward ----------------------------------------------------------------
 
 def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
-                        _csr=None) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+                        _csr=_AUTO_CSR, ws=None
+                        ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
     """Run one :class:`~repro.core.layers.SpikingLinear` over a whole sequence.
 
     Parameters
@@ -221,6 +260,9 @@ def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
         The fused math never needs it (the filter is applied *after* the
         crossbar product — the two commute), so pure inference skips the
         ``(batch, T, n_in)`` buffer entirely.
+    ws:
+        Optional :class:`~repro.runtime.workspace.Workspace` serving the
+        large buffers (identical results; the caller recycles them).
 
     Returns
     -------
@@ -241,11 +283,41 @@ def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
         raise ShapeError(f"{layer.name}: expected {layer.n_in} inputs, "
                          f"got {xs.shape[2]}")
     if layer.neuron_kind == "adaptive":
-        return _fused_adaptive_forward(layer, xs, need_k, _csr)
-    return _fused_hard_reset_forward(layer, xs, _csr)
+        return _fused_adaptive_forward(layer, xs, need_k, _csr, ws)
+    return _fused_hard_reset_forward(layer, xs, _csr, ws)
 
 
-def _fused_adaptive_forward(layer, xs, need_k, csr=None):
+def _layer_gv(layer_weight, xs, dtype, csr, ws, gain: float = 1.0):
+    """The crossbar product for every step at once: ``(batch, T, n_out)``.
+
+    Dense inputs multiply straight into a workspace buffer; sparse inputs
+    go through the CSR product (which allocates its own result — foreign
+    to the workspace, which release() tolerates).  ``csr`` follows the
+    :func:`spike_matmul` convention: a ready conversion, ``None`` for
+    "probed and dense" (no re-probe), or ``_AUTO_CSR`` to probe here.
+    """
+    batch, steps, n_in = xs.shape
+    n_out = layer_weight.shape[0]
+    w_t = _ws_empty(ws, (n_in, n_out), dtype)
+    np.copyto(w_t, layer_weight.T)
+    if gain != 1.0:
+        w_t *= dtype.type(gain)
+    flat_x = xs.reshape(batch * steps, n_in)
+    if csr is _AUTO_CSR:
+        csr = _as_csr(flat_x, ws)
+    if csr is None:
+        gv = _ws_empty(ws, (batch, steps, n_out), dtype)
+        spike_matmul(flat_x, w_t, csr=None,
+                     out=gv.reshape(batch * steps, n_out))
+    else:
+        gv = np.ascontiguousarray(
+            spike_matmul(flat_x, w_t, csr=csr)
+        ).reshape(batch, steps, n_out)
+    _ws_release(ws, w_t)
+    return gv
+
+
+def _fused_adaptive_forward(layer, xs, need_k, csr=_AUTO_CSR, ws=None):
     """Adaptive-threshold layer: sparse matmul -> scan -> threshold scan.
 
     The synapse filter (eq. 9) and the crossbar product (eq. 7) are both
@@ -272,17 +344,17 @@ def _fused_adaptive_forward(layer, xs, need_k, csr=None):
     # Crossbar product of the raw spikes for every step at once, then the
     # synapse filter as an in-place scan over (batch, T, n_out).  ``gv``
     # starts life as g[t] and is rewritten to v[t] = g[t] - theta*h[t].
-    w_t = np.ascontiguousarray(layer.weight.T, dtype=dtype)
-    gv = np.ascontiguousarray(
-        spike_matmul(xs.reshape(batch * steps, n_in), w_t, csr=csr)
-    ).reshape(batch, steps, n_out)
+    gv = _layer_gv(layer.weight, xs, dtype, csr, ws)
     exp_scan(gv, alpha, out=gv)
 
-    k = exp_scan(xs, alpha) if need_k else None
+    if need_k:
+        k = exp_scan(xs, alpha, out=_ws_empty(ws, xs.shape, dtype))
+    else:
+        k = None
 
-    spikes = np.empty((batch, steps, n_out), dtype=dtype)
+    spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
     h = np.zeros((batch, n_out), dtype=dtype)
-    scratch = np.empty((batch, n_out), dtype=dtype)
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
     o_prev = None
     for t in range(steps):
         # h[t] = beta*h[t-1] + O[t-1]   (eq. 8)
@@ -306,10 +378,11 @@ def _fused_adaptive_forward(layer, xs, need_k, csr=None):
         layer.k = np.matmul(decay_powers.astype(dtype), xs)
     neuron.h = h
     neuron.last_output = spikes[:, -1].copy()
+    _ws_release(ws, scratch)
     return spikes, k, gv
 
 
-def _fused_hard_reset_forward(layer, xs, csr=None):
+def _fused_hard_reset_forward(layer, xs, csr=_AUTO_CSR, ws=None):
     """Hard-reset layer: batched matmul -> leaky-integrate/reset scan."""
     dtype = xs.dtype
     batch, steps, n_in = xs.shape
@@ -325,16 +398,12 @@ def _fused_hard_reset_forward(layer, xs, csr=None):
     # Weighted input for every step at once (sparse over the raw spikes);
     # fold the discretisation gain into the weight so the scan below is
     # pure elementwise work.
-    w_t = np.ascontiguousarray(layer.weight.T, dtype=dtype)
-    if neuron.input_gain != 1.0:
-        w_t = w_t * dtype.type(neuron.input_gain)
-    gv = np.ascontiguousarray(
-        spike_matmul(xs.reshape(batch * steps, n_in), w_t, csr=csr)
-    ).reshape(batch, steps, n_out)
+    gv = _layer_gv(layer.weight, xs, dtype, csr, ws,
+                   gain=float(neuron.input_gain))
 
-    spikes = np.empty((batch, steps, n_out), dtype=dtype)
+    spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
     v_post = np.zeros((batch, n_out), dtype=dtype)
-    scratch = np.empty((batch, n_out), dtype=dtype)
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
     for t in range(steps):
         v_t = gv[:, t]
         np.multiply(v_post, alpha, out=scratch)
@@ -348,10 +417,11 @@ def _fused_hard_reset_forward(layer, xs, csr=None):
     # unused synapse-filter buffer for hard-reset layers).
     layer.k = np.zeros((batch, n_in), dtype=dtype)
     neuron.v = v_post
+    _ws_release(ws, scratch)
     return spikes, None, gv
 
 
-def fused_run(network, inputs: np.ndarray, record: bool = False):
+def fused_run(network, inputs: np.ndarray, record: bool = False, ws=None):
     """Fused forward pass over the whole stack; drop-in for the step loop.
 
     ``inputs`` must already be a validated ``(batch, T, n_input)`` array of
@@ -359,7 +429,9 @@ def fused_run(network, inputs: np.ndarray, record: bool = False):
     Returns ``(outputs, RunRecord | None)`` identical in structure to the
     step-wise path; the per-layer ``k``/``v``/``spikes`` tensors come for
     free because the engine materialises them anyway for the batched
-    matmuls.
+    matmuls.  With a workspace and ``record=False`` the intermediate
+    layers' tensors are recycled as soon as the next layer has consumed
+    them (the returned outputs stay checked out for the caller).
     """
     from .layers import LayerStepRecord   # local import: avoids a cycle
     from .network import RunRecord
@@ -369,11 +441,16 @@ def fused_run(network, inputs: np.ndarray, record: bool = False):
     input_csrs = []
     spikes = inputs
     for layer in network.layers:
-        csr = _as_csr(x.reshape(-1, layer.n_in))
+        csr = _as_csr(x.reshape(-1, layer.n_in), ws)
         input_csrs.append(csr)
-        spikes, k, v = fused_layer_forward(layer, x, need_k=record, _csr=csr)
+        spikes, k, v = fused_layer_forward(layer, x, need_k=record,
+                                           _csr=csr, ws=ws)
         if record:
             layer_records.append(LayerStepRecord(k=k, v=v, spikes=spikes))
+        elif ws is not None:
+            ws.release(v)
+            if x is not inputs:
+                ws.release(x)
         x = spikes
     if not record:
         return spikes, None
@@ -387,7 +464,8 @@ def fused_run(network, inputs: np.ndarray, record: bool = False):
 # -- backward ---------------------------------------------------------------
 
 def fused_backward(network, record, grad_outputs: np.ndarray,
-                   mode: str = "exact", precision=None):
+                   mode: str = "exact", precision=None, ws=None,
+                   need_input_grad: bool = True):
     """Fused BPTT through a recorded run; drop-in for
     :func:`repro.core.backprop.backward`.
 
@@ -399,7 +477,14 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
     reverse exponential scan (exact mode's ``alpha``-carry).
 
     ``precision`` defaults to the record's dtype (so a float32 forward run
-    gets a float32 backward); pass ``"float64"`` to upcast.
+    gets a float32 backward); pass ``"float64"`` to upcast.  ``ws`` serves
+    and recycles the adjoint buffers; the only buffer that survives the
+    call is the one captured by the deferred input-gradient closure, and
+    that one is deliberately allocated outside the workspace.  Training
+    never reads ``GradientResult.input_grad``, so the trainer/pool path
+    passes ``need_input_grad=False`` — the closure (and its captured
+    plain buffer + weight snapshot) is then skipped entirely and every
+    adjoint buffer returns to the workspace.
     """
     if mode not in ("exact", "truncated"):
         raise ValueError(f"mode must be 'exact' or 'truncated', got {mode!r}")
@@ -419,36 +504,52 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
     for index in range(len(network.layers) - 1, -1, -1):
         layer = network.layers[index]
         layer_record = record.layers[index]
-        csr = None
+        # Forward-pass conversions are authoritative: a cached CSR is
+        # reused, a cached None means the input was probed dense (skip
+        # re-probing).  Only a missing/incompatible cache re-probes.
+        csr = _AUTO_CSR
         if cached_csrs is not None:
             csr = cached_csrs[index]
             if csr is not None and csr.dtype != dtype:
-                csr = None
-        defer = index == 0
+                csr = _AUTO_CSR
+        defer = index == 0 and need_input_grad
         if layer.neuron_kind == "adaptive":
-            w_grad, grad_inputs_fn = _fused_backward_adaptive(
+            w_grad, grad_inputs_fn, retained = _fused_backward_adaptive(
                 layer, layer_record, record.layer_input(index),
-                grad_spikes, mode, dtype, csr, defer,
+                grad_spikes, mode, dtype, csr, defer, ws,
             )
         else:
-            w_grad, grad_inputs_fn = _fused_backward_hard_reset(
+            w_grad, grad_inputs_fn, retained = _fused_backward_hard_reset(
                 layer, layer_record, record.layer_input(index),
-                grad_spikes, dtype, csr, defer,
+                grad_spikes, dtype, csr, defer, ws,
             )
         weight_grads[index] = w_grad
         if index == 0:
-            # The network-input gradient is only consumed by sensitivity
-            # analyses, never by training — defer its dense matmul until
-            # someone actually reads GradientResult.input_grad.
-            input_grad_fn = grad_inputs_fn
+            if need_input_grad:
+                # The network-input gradient is only consumed by
+                # sensitivity analyses, never by training — defer its
+                # dense matmul until someone actually reads
+                # GradientResult.input_grad.
+                input_grad_fn = grad_inputs_fn
+            else:
+                # Closure discarded unused; its buffers recycle now.
+                _ws_release(ws, *retained)
+            # The last consumed adjoint is dead (a deferred closure
+            # captures its own plain-allocated buffers, never this one).
+            _ws_release(ws, grad_spikes)
         else:
+            upstream = grad_spikes
             grad_spikes = grad_inputs_fn()
+            # The consumed adjoint and this layer's scan buffers are dead
+            # once the next upstream gradient exists.
+            _ws_release(ws, upstream, *retained)
     return GradientResult(weight_grads=weight_grads, input_grad=None,
                           input_grad_fn=input_grad_fn)
 
 
 def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
-                             mode, dtype, csr=None, defer=False):
+                             mode, dtype, csr=_AUTO_CSR, defer=False,
+                             ws=None):
     """Adaptive-layer adjoints with the matmuls hoisted out of the time loop.
 
     Sequential part (elementwise, reverse time)::
@@ -480,8 +581,14 @@ def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
 
     eps = np.asarray(layer.surrogate.derivative(v - params.v_th), dtype=dtype)
 
-    dv = np.empty((batch, steps, n_out), dtype=dtype)
-    scratch = np.empty((batch, n_out), dtype=dtype)
+    # The buffer the deferred (layer-0) closure captures must outlive this
+    # call indefinitely, so it is never taken from the workspace.
+    capture_dv = defer and mode == "truncated"
+    if capture_dv:
+        dv = np.empty((batch, steps, n_out), dtype=dtype)
+    else:
+        dv = _ws_empty(ws, (batch, steps, n_out), dtype)
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
     if mode == "exact":
         a_h = np.zeros((batch, n_out), dtype=dtype)
         for t in range(steps - 1, -1, -1):
@@ -497,8 +604,13 @@ def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
             np.multiply(dv[:, t + 1], theta, out=scratch)
             np.subtract(grad_spikes[:, t], scratch, out=dv[:, t])
             dv[:, t] *= eps[:, t]
+    _ws_release(ws, scratch)
 
-    e = exp_scan_reverse(dv, layer.alpha)
+    if defer and mode == "exact":
+        e = exp_scan_reverse(dv, layer.alpha)          # captured: plain
+    else:
+        e = exp_scan_reverse(dv, layer.alpha,
+                             out=_ws_empty(ws, dv.shape, dtype))
     flat_x = np.asarray(layer_inputs, dtype=dtype).reshape(
         batch * steps, layer.n_in
     )
@@ -511,16 +623,29 @@ def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
         weight = weight.copy()
     upstream = e if mode == "exact" else dv
 
-    def grad_inputs_fn() -> np.ndarray:
-        return (upstream.reshape(batch * steps, n_out) @ weight).reshape(
-            batch, steps, layer.n_in
-        )
+    if defer:
+        # Recycle whichever scan buffer the closure does not capture.
+        _ws_release(ws, dv if mode == "exact" else e)
 
-    return w_grad, grad_inputs_fn
+        def grad_inputs_fn() -> np.ndarray:
+            return (upstream.reshape(batch * steps, n_out) @ weight).reshape(
+                batch, steps, layer.n_in
+            )
+
+        return w_grad, grad_inputs_fn, ()
+
+    def grad_inputs_fn() -> np.ndarray:
+        out = _ws_empty(ws, (batch, steps, layer.n_in), dtype)
+        np.matmul(upstream.reshape(batch * steps, n_out), weight,
+                  out=out.reshape(batch * steps, layer.n_in))
+        return out
+
+    return w_grad, grad_inputs_fn, (dv, e)
 
 
 def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
-                               grad_spikes, dtype, csr=None, defer=False):
+                               grad_spikes, dtype, csr=_AUTO_CSR,
+                               defer=False, ws=None):
     """Hard-reset adjoints with the matmuls hoisted (reset gate detached)."""
     params = layer.params
     alpha = layer.neuron.alpha
@@ -535,8 +660,12 @@ def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
                      dtype=dtype)
 
     # delta_v[t] = dE/dO[t]*eps[t] + alpha*(1 - O[t])*delta_v[t+1]
-    dv = np.empty((batch, steps, n_out), dtype=dtype)
-    scratch = np.empty((batch, n_out), dtype=dtype)
+    # (``dv`` is what a deferred closure captures, so plain-allocated then).
+    if defer:
+        dv = np.empty((batch, steps, n_out), dtype=dtype)
+    else:
+        dv = _ws_empty(ws, (batch, steps, n_out), dtype)
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
     np.multiply(grad_spikes[:, -1], eps[:, -1], out=dv[:, -1])
     for t in range(steps - 2, -1, -1):
         dv_t = dv[:, t]
@@ -545,6 +674,7 @@ def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
         scratch *= alpha
         np.multiply(grad_spikes[:, t], eps[:, t], out=dv_t)
         dv_t += scratch
+    _ws_release(ws, scratch)
 
     weight = np.asarray(layer.weight, dtype=dtype)
     if defer and weight is layer.weight:
@@ -555,12 +685,22 @@ def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
     if input_gain != 1.0:
         w_grad *= input_gain
 
-    def grad_inputs_fn() -> np.ndarray:
-        grad_inputs = (dv.reshape(batch * steps, n_out) @ weight).reshape(
-            batch, steps, layer.n_in
-        )
-        if input_gain != 1.0:
-            grad_inputs *= input_gain
-        return grad_inputs
+    if defer:
+        def grad_inputs_fn() -> np.ndarray:
+            grad_inputs = (dv.reshape(batch * steps, n_out) @ weight
+                           ).reshape(batch, steps, layer.n_in)
+            if input_gain != 1.0:
+                grad_inputs *= input_gain
+            return grad_inputs
 
-    return w_grad, grad_inputs_fn
+        return w_grad, grad_inputs_fn, ()
+
+    def grad_inputs_fn() -> np.ndarray:
+        out = _ws_empty(ws, (batch, steps, layer.n_in), dtype)
+        np.matmul(dv.reshape(batch * steps, n_out), weight,
+                  out=out.reshape(batch * steps, layer.n_in))
+        if input_gain != 1.0:
+            out *= input_gain
+        return out
+
+    return w_grad, grad_inputs_fn, (dv,)

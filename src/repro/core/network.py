@@ -133,7 +133,8 @@ class SpikingNetwork:
 
     def run(self, inputs: np.ndarray, record: bool = False,
             dtype=np.float64, engine: str = "fused",
-            precision: str | None = None) -> tuple[np.ndarray, RunRecord | None]:
+            precision: str | None = None,
+            workspace=None) -> tuple[np.ndarray, RunRecord | None]:
         """Run a batch of spike sequences through the network.
 
         Parameters
@@ -151,6 +152,13 @@ class SpikingNetwork:
             (the per-step reference loop).  Outputs agree to tolerance.
         precision:
             ``"float32"`` or ``"float64"``; overrides ``dtype`` when given.
+        workspace:
+            Optional :class:`~repro.runtime.workspace.Workspace` the fused
+            engine checks its large buffers out of (identical results).
+            The returned tensors then belong to that workspace's owner —
+            only pass one from code that recycles them, like the
+            :class:`~repro.core.trainer.Trainer`.  Ignored by
+            ``engine="step"``.
 
         Returns
         -------
@@ -171,7 +179,7 @@ class SpikingNetwork:
                 f"expected {self.sizes[0]} input channels, got {inputs.shape[2]}"
             )
         if engine == "fused":
-            return fused_run(self, inputs, record=record)
+            return fused_run(self, inputs, record=record, ws=workspace)
         batch, steps, _ = inputs.shape
         self.reset_state(batch, dtype=dtype)
 

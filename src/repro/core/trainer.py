@@ -5,6 +5,23 @@ AdamW, batch size 64, learning rate 1e-4 (classification) or 1e-3 (pattern
 association).  It operates on in-memory arrays — every dataset in
 :mod:`repro.data` materialises to ``(inputs, targets)`` pairs — and records
 a per-epoch history of loss and task metrics.
+
+Two runtime knobs scale it beyond a single-core loop:
+
+* ``TrainerConfig(workers=N)`` trains **data-parallel**: each mini-batch is
+  split into ``N`` contiguous shards, a persistent
+  :class:`~repro.runtime.pool.WorkerPool` (weights in shared memory) runs
+  fused forward+BPTT on each shard concurrently, and the shard gradients
+  are reduced in fixed order before the single optimizer step.  Evaluation
+  passes shard the same way.  ``workers=0`` (default) is the serial
+  in-process path, unchanged.
+* The serial path itself recycles the engine's ``(batch, T, n)`` buffers
+  through a per-trainer :class:`~repro.runtime.workspace.Workspace`, so
+  steady-state training performs no large per-batch allocations.
+
+Both knobs preserve results: the workspace is bitwise-transparent, and the
+parallel reduction is bitwise-reproducible and pinned against the serial
+execution of the same shard split in ``tests/unit/test_runtime.py``.
 """
 
 from __future__ import annotations
@@ -17,7 +34,9 @@ import numpy as np
 from ..common.config import BaseConfig
 from ..common.errors import ShapeError
 from ..common.rng import RandomState, as_random_state
-from .backprop import backward
+from ..runtime.parallel import data_parallel_grads, shard_grads
+from ..runtime.workspace import Workspace
+from .engine import resolve_precision
 from .network import SpikingNetwork
 from .optim import clip_grad_norm, make_optimizer
 
@@ -54,6 +73,17 @@ class TrainerConfig(BaseConfig):
         forward run, recorded traces and gradients.  With
         ``engine="step"`` it applies to the forward pass only — the
         reference backward always computes gradients in float64.
+    workers:
+        ``0`` (default): serial in-process training.  ``N >= 1``: a
+        persistent ``N``-process :class:`~repro.runtime.pool.WorkerPool`
+        runs each mini-batch as ``N`` data-parallel shards (shared-memory
+        weights, fixed-order gradient reduction).  ``workers=1`` computes
+        exactly the serial full-batch gradients, just in another process.
+    eval_train:
+        Whether :meth:`Trainer.fit` re-runs the *entire training set*
+        forward after every epoch for ``train_metrics``.  Off by default —
+        it roughly doubles epoch cost on large sets; the running
+        ``train_loss`` is recorded either way.
     """
 
     epochs: int = 10
@@ -66,6 +96,8 @@ class TrainerConfig(BaseConfig):
     shuffle: bool = True
     engine: str = "fused"
     precision: str = "float64"
+    workers: int = 0
+    eval_train: bool = False
 
     def validate(self) -> None:
         self.require_positive("epochs")
@@ -73,6 +105,7 @@ class TrainerConfig(BaseConfig):
         self.require_positive("learning_rate")
         self.require_non_negative("weight_decay")
         self.require_non_negative("grad_clip")
+        self.require_non_negative("workers")
         self.require(self.gradient_mode in ("exact", "truncated"),
                      f"gradient_mode must be exact|truncated, "
                      f"got {self.gradient_mode!r}")
@@ -133,20 +166,60 @@ class Trainer:
             config.optimizer, network.weights, lr=config.learning_rate, **extra
         )
         self.history: list[EpochStats] = []
+        self._workspace = Workspace()
+        self._pool = None
+
+    # -- parallel runtime ---------------------------------------------------
+    def _ensure_pool(self):
+        """The trainer's persistent worker pool (created on first use)."""
+        if self._pool is None:
+            from ..runtime.pool import WorkerPool
+
+            self._pool = WorkerPool(self.network, workers=self.config.workers,
+                                    loss=self.loss)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool and drop pooled buffers (idempotent).
+
+        Training can resume afterwards — the pool and workspace are
+        re-created on demand."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._workspace.reclaim()
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- single steps ------------------------------------------------------
     def train_batch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
-        """One forward/backward/update on a batch; returns the batch loss."""
+        """One forward/backward/update on a batch; returns the batch loss.
+
+        With ``config.workers >= 1`` the batch is computed as data-parallel
+        shards on the worker pool (one shard per worker, gradients reduced
+        in shard order); serially in-process otherwise.
+        """
         cfg = self.config
-        outputs, record = self.network.run(
-            inputs, record=True, engine=cfg.engine, precision=cfg.precision
-        )
-        loss_value, grad_outputs = self.loss.value_and_grad(outputs, targets)
-        backward_engine = "fused" if cfg.engine == "fused" else "reference"
-        result = backward(self.network, record, grad_outputs,
-                          mode=cfg.gradient_mode, engine=backward_engine,
-                          precision=cfg.precision)
-        grads = result.weight_grads
+        if cfg.workers >= 1:
+            pool = self._ensure_pool()
+            loss_value, grads = data_parallel_grads(
+                self.network, self.loss, inputs, targets,
+                n_shards=cfg.workers, mode=cfg.gradient_mode,
+                engine=cfg.engine, precision=cfg.precision, pool=pool,
+            )
+        else:
+            # One shard == the whole batch; shard_grads is the exact unit
+            # of work the pool workers execute, so serial and pooled
+            # training share every arithmetic operation by construction.
+            loss_value, _, grads = shard_grads(
+                self.network, self.loss, inputs, targets,
+                mode=cfg.gradient_mode, engine=cfg.engine,
+                precision=cfg.precision, ws=self._workspace,
+            )
         if self.config.grad_clip > 0:
             clip_grad_norm(grads, self.config.grad_clip)
         self.optimizer.step(grads)
@@ -170,17 +243,49 @@ class Trainer:
         return float(np.mean(losses))
 
     # -- evaluation ---------------------------------------------------------
+    def _pool_neuron_kind(self, model: SpikingNetwork) -> str | None:
+        """The ``neuron_kind`` to evaluate ``model`` under on the pool, or
+        ``None`` when the pool (built for ``self.network``) cannot serve it.
+
+        The pool replicas share this trainer's weights, so they can serve
+        the trained model itself and any ``with_neuron_kind`` swap (same
+        weight arrays, different dynamics) — the paper's Table II 'HR'
+        evaluation.  Anything else falls back to the serial path.
+        """
+        if model is self.network:
+            return self.network.neuron_kind
+        same_weights = (
+            model.sizes == self.network.sizes
+            and model.params == self.network.params
+            and all(a is b for a, b in zip(model.weights,
+                                           self.network.weights))
+        )
+        return model.neuron_kind if same_weights else None
+
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray,
                  network: SpikingNetwork | None = None) -> dict:
         """Loss metrics on held-out data (no gradient, batched).
 
         ``network`` overrides the trained model — used for the paper's
-        hard-reset swap evaluation.
+        hard-reset swap evaluation.  With ``config.workers >= 1`` the
+        forward pass is sharded over the worker pool (same chunks as the
+        serial path, so the outputs are identical).
         """
         model = network if network is not None else self.network
+        if self.config.workers >= 1:
+            kind = self._pool_neuron_kind(model)
+            if kind is not None:
+                pool = self._ensure_pool()
+                outputs = pool.run_sharded(
+                    inputs, self.config.batch_size,
+                    engine=self.config.engine,
+                    precision=self.config.precision, neuron_kind=kind,
+                )
+                return self.loss.metrics(outputs, targets)
         outputs = run_in_batches(model, inputs, self.config.batch_size,
                                  engine=self.config.engine,
-                                 precision=self.config.precision)
+                                 precision=self.config.precision,
+                                 workspace=self._workspace)
         return self.loss.metrics(outputs, targets)
 
     # -- full loop ----------------------------------------------------------
@@ -188,11 +293,19 @@ class Trainer:
             test_inputs: np.ndarray | None = None,
             test_targets: np.ndarray | None = None,
             verbose: bool = False) -> list[EpochStats]:
-        """Run the configured number of epochs; returns per-epoch stats."""
+        """Run the configured number of epochs; returns per-epoch stats.
+
+        ``train_metrics`` are populated only when ``config.eval_train`` is
+        set — the extra full-train-set forward pass roughly doubles epoch
+        cost on large sets; ``train_loss`` (the running mean of the batch
+        losses) is always recorded.
+        """
         for epoch in range(1, self.config.epochs + 1):
             start = time.perf_counter()
             train_loss = self.train_epoch(train_inputs, train_targets)
-            train_metrics = self.evaluate(train_inputs, train_targets)
+            train_metrics = {}
+            if self.config.eval_train:
+                train_metrics = self.evaluate(train_inputs, train_targets)
             test_metrics = {}
             if test_inputs is not None and test_targets is not None:
                 test_metrics = self.evaluate(test_inputs, test_targets)
@@ -208,12 +321,56 @@ class Trainer:
 
 
 def run_in_batches(network: SpikingNetwork, inputs: np.ndarray,
-                   batch_size: int, dtype=np.float64, engine: str = "fused",
-                   precision: str | None = None) -> np.ndarray:
-    """Forward-only run over a large array, batched to bound memory."""
+                   batch_size: int, dtype=None, engine: str = "fused",
+                   precision: str | None = None, workers: int = 0,
+                   pool=None, workspace=None) -> np.ndarray:
+    """Forward-only run over a large array, batched to bound memory.
+
+    Parameters
+    ----------
+    network, inputs, batch_size:
+        Model and ``(n, T, n_in)`` spike array; chunks of ``batch_size``
+        samples bound peak memory.
+    precision:
+        ``"float32"`` / ``"float64"`` (or a dtype-like); the single
+        precision switch for the run.  Default float64.
+    dtype:
+        Legacy alias for ``precision`` kept for backwards compatibility;
+        ``precision`` wins when both are given.
+    workers, pool:
+        ``workers >= 1`` distributes the chunks over a
+        :class:`~repro.runtime.pool.WorkerPool` — ``pool`` reuses an
+        existing one (its network must be ``network``), otherwise a
+        transient pool is created for this call.  The chunk boundaries are
+        identical to the serial path, so the outputs are bitwise equal.
+    workspace:
+        Optional :class:`~repro.runtime.workspace.Workspace` for the
+        serial path; chunk buffers are recycled after concatenation.
+    """
+    resolved = resolve_precision(precision if precision is not None else dtype)
+    if resolved is None:
+        resolved = np.dtype(np.float64)
+    if pool is not None:
+        if pool.network is not network:
+            raise ValueError(
+                "pool was built for a different network object; build the "
+                "pool from this network (or pass workers= for a transient "
+                "one) so the shared-memory replicas match")
+        return pool.run_sharded(inputs, batch_size, engine=engine,
+                                precision=resolved)
+    if workers >= 1:
+        from ..runtime.pool import WorkerPool
+
+        with WorkerPool(network, workers=workers) as transient:
+            return transient.run_sharded(inputs, batch_size, engine=engine,
+                                         precision=resolved)
     chunks = []
     for start in range(0, inputs.shape[0], batch_size):
-        outputs, _ = network.run(inputs[start:start + batch_size], dtype=dtype,
-                                 engine=engine, precision=precision)
+        outputs, _ = network.run(inputs[start:start + batch_size],
+                                 precision=resolved, engine=engine,
+                                 workspace=workspace)
         chunks.append(outputs)
-    return np.concatenate(chunks, axis=0)
+    result = np.concatenate(chunks, axis=0)
+    if workspace is not None:
+        workspace.release(*chunks)
+    return result

@@ -55,6 +55,7 @@ from ..hardware import (
     estimate_power,
     simulate_neuron,
 )
+from ..runtime import parallel_map, resolve_workers
 from .paperconfig import PAPER_CONFIG, table1
 
 __all__ = [
@@ -469,10 +470,19 @@ def run_fig7(profile: str | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Fig. 8 — quantization and process variation
 # ---------------------------------------------------------------------------
-def run_fig8(profile: str | None = None) -> ExperimentResult:
+def run_fig8(profile: str | None = None,
+             workers: int | None = None) -> ExperimentResult:
     """Accuracy of the hardware-mapped N-MNIST model under 4/5-bit weights
-    and RRAM process variation 0 - 0.5 (paper Fig. 8)."""
+    and RRAM process variation 0 - 0.5 (paper Fig. 8).
+
+    With ``workers >= 1`` (argument or ``REPRO_WORKERS``) one persistent
+    worker pool serves every grid point, evaluating the independent
+    device-noise seeds concurrently — each seed's rng stream depends only
+    on the fixed root seed, so the numbers are identical to the serial
+    sweep's.
+    """
     profile = resolve_profile(profile)
+    workers = resolve_workers(workers)
     nmnist_result_bundle = _ensure_nmnist_model(profile)
     network = nmnist_result_bundle["network"]
     test = nmnist_result_bundle["test"]
@@ -483,16 +493,25 @@ def run_fig8(profile: str | None = None) -> ExperimentResult:
                   else [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4,
                         0.45, 0.5])
     n_seeds = 2 if profile == "ci" else 5
-    series: dict[str, list[float]] = {}
-    for bits in (4, 5):
-        accs = []
-        for variation in variations:
-            mean_acc, _ = accuracy_under_variation(
-                network, test.inputs, test.targets, bits=bits,
-                variation=variation, n_seeds=n_seeds, rng=11,
-            )
-            accs.append(mean_acc)
-        series[f"{bits}bit"] = accs
+    pool = None
+    if workers >= 1:
+        from ..runtime.pool import WorkerPool
+
+        pool = WorkerPool(network, workers=min(workers, n_seeds))
+    try:
+        series: dict[str, list[float]] = {}
+        for bits in (4, 5):
+            accs = []
+            for variation in variations:
+                mean_acc, _ = accuracy_under_variation(
+                    network, test.inputs, test.targets, bits=bits,
+                    variation=variation, n_seeds=n_seeds, rng=11, pool=pool,
+                )
+                accs.append(mean_acc)
+            series[f"{bits}bit"] = accs
+    finally:
+        if pool is not None:
+            pool.close()
 
     table = Table(["Process variation", "4-bit acc %", "5-bit acc %"],
                   title="Fig. 8: accuracy vs quantization & variation "
@@ -570,33 +589,61 @@ def run_power_area(profile: str | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Ablations (design-choice benches called out in DESIGN.md)
 # ---------------------------------------------------------------------------
-def run_ablation_surrogate(profile: str | None = None) -> ExperimentResult:
-    """Train the reduced SHD task with four surrogate gradients."""
-    profile = resolve_profile(profile)
+def _ablation_shd_split(n_per_class: int, steps: int = 80):
+    """The reduced-SHD train/test split, cached per process.
+
+    The ablation condition functions run either serially (all in this
+    process — one generation total, like the pre-parallel code) or one per
+    pool worker (each process generates its own copy once).  Fixed seeds
+    make every copy identical, so results do not depend on where a
+    condition ran.
+    """
+    key = ("shd-ablation", n_per_class, steps)
+    if key not in _CACHE:
+        dataset = generate_shd(
+            SyntheticSHDConfig(n_per_class=n_per_class, steps=steps), rng=0)
+        _CACHE[key] = dataset.split(0.8, rng=1)
+    return _CACHE[key]
+
+
+def _ablation_surrogate_condition(task: tuple[str, str]) -> float:
+    """Train the reduced SHD task with one surrogate; returns test accuracy.
+
+    Module-level (picklable) so :func:`repro.runtime.parallel_map` can run
+    the grid points in worker processes.
+    """
+    name, profile = task
     n_per_class = 10 if profile == "ci" else 40
     epochs = 10 if profile == "ci" else 30
-    dataset = generate_shd(
-        SyntheticSHDConfig(n_per_class=n_per_class, steps=80), rng=0)
-    train, test = dataset.split(0.8, rng=1)
+    train, test = _ablation_shd_split(n_per_class)
+    network = SpikingNetwork((700, 64, 20), surrogate=get_surrogate(name),
+                             rng=2)
+    calibrate_firing(network, train.inputs[:32], target_rate=0.08)
+    trainer = Trainer(network, CrossEntropyRateLoss(), TrainerConfig(
+        epochs=epochs, batch_size=32, learning_rate=1e-3,
+        optimizer="adamw"), rng=3)
+    history = trainer.fit(train.inputs, train.targets,
+                          test.inputs, test.targets)
+    return history[-1].test_metrics["accuracy"]
 
-    rows = []
-    accs = {}
-    for name in ("erfc", "sigmoid", "triangle", "rectangular"):
-        surrogate = get_surrogate(name)
-        network = SpikingNetwork((700, 64, 20), surrogate=surrogate, rng=2)
-        calibrate_firing(network, train.inputs[:32], target_rate=0.08)
-        trainer = Trainer(network, CrossEntropyRateLoss(), TrainerConfig(
-            epochs=epochs, batch_size=32, learning_rate=1e-3,
-            optimizer="adamw"), rng=3)
-        history = trainer.fit(train.inputs, train.targets,
-                              test.inputs, test.targets)
-        acc = history[-1].test_metrics["accuracy"]
-        accs[name] = acc
-        rows.append([name, f"{100 * acc:.2f}"])
+
+def run_ablation_surrogate(profile: str | None = None,
+                           workers: int | None = None) -> ExperimentResult:
+    """Train the reduced SHD task with four surrogate gradients.
+
+    The four conditions are independent training runs; ``workers >= 1``
+    (argument or ``REPRO_WORKERS``) trains them concurrently.
+    """
+    profile = resolve_profile(profile)
+    names = ("erfc", "sigmoid", "triangle", "rectangular")
+    results = parallel_map(_ablation_surrogate_condition,
+                           [(name, profile) for name in names],
+                           workers=workers)
+    accs = dict(zip(names, results))
     table = Table(["Surrogate", "Test acc %"],
                   title="Ablation: surrogate gradient (reduced SHD)")
-    for row in rows:
-        table.add_row(row)
+    for name in names:
+        table.add_row([name, f"{100 * accs[name]:.2f}"])
     return ExperimentResult(
         name="ablation-surrogate",
         summary={f"acc_{k}": v for k, v in accs.items()},
@@ -655,25 +702,36 @@ def run_ablation_timing(profile: str | None = None) -> ExperimentResult:
     )
 
 
-def run_ablation_gradient(profile: str | None = None) -> ExperimentResult:
-    """Exact filter-adjoint BPTT vs the paper's truncated eq. (13)."""
-    profile = resolve_profile(profile)
+def _ablation_gradient_condition(task: tuple[str, str]) -> float:
+    """Train the reduced SHD task with one gradient mode (picklable unit
+    of work for the parallel sweep)."""
+    mode, profile = task
     n_per_class = 10 if profile == "ci" else 40
     epochs = 10 if profile == "ci" else 30
-    dataset = generate_shd(
-        SyntheticSHDConfig(n_per_class=n_per_class, steps=80), rng=0)
-    train, test = dataset.split(0.8, rng=1)
+    train, test = _ablation_shd_split(n_per_class)
+    network = SpikingNetwork((700, 64, 20), rng=2)
+    calibrate_firing(network, train.inputs[:32], target_rate=0.08)
+    trainer = Trainer(network, CrossEntropyRateLoss(), TrainerConfig(
+        epochs=epochs, batch_size=32, learning_rate=1e-3,
+        optimizer="adamw", gradient_mode=mode), rng=3)
+    history = trainer.fit(train.inputs, train.targets,
+                          test.inputs, test.targets)
+    return history[-1].test_metrics["accuracy"]
 
-    accs = {}
-    for mode in ("exact", "truncated"):
-        network = SpikingNetwork((700, 64, 20), rng=2)
-        calibrate_firing(network, train.inputs[:32], target_rate=0.08)
-        trainer = Trainer(network, CrossEntropyRateLoss(), TrainerConfig(
-            epochs=epochs, batch_size=32, learning_rate=1e-3,
-            optimizer="adamw", gradient_mode=mode), rng=3)
-        history = trainer.fit(train.inputs, train.targets,
-                              test.inputs, test.targets)
-        accs[mode] = history[-1].test_metrics["accuracy"]
+
+def run_ablation_gradient(profile: str | None = None,
+                          workers: int | None = None) -> ExperimentResult:
+    """Exact filter-adjoint BPTT vs the paper's truncated eq. (13).
+
+    Two independent training runs; ``workers >= 1`` trains them
+    concurrently via :func:`repro.runtime.parallel_map`.
+    """
+    profile = resolve_profile(profile)
+    modes = ("exact", "truncated")
+    results = parallel_map(_ablation_gradient_condition,
+                           [(mode, profile) for mode in modes],
+                           workers=workers)
+    accs = dict(zip(modes, results))
     table = Table(["Gradient mode", "Test acc %"],
                   title="Ablation: exact adjoints vs truncated eq. (13)")
     table.add_row(["exact (full filter adjoints)",

@@ -4,7 +4,11 @@ circuit, and power/energy/area estimation."""
 
 from .crossbar import DifferentialCrossbar
 from .devices import RRAMCellArray, RRAMDeviceConfig
-from .mapped_network import HardwareMappedNetwork, accuracy_under_variation
+from .mapped_network import (
+    HardwareMappedNetwork,
+    accuracy_under_variation,
+    seed_accuracy,
+)
 from .neuron_circuit import (
     NeuronCircuitConfig,
     NeuronCircuitResult,
@@ -33,6 +37,7 @@ __all__ = [
     "RRAMDeviceConfig",
     "HardwareMappedNetwork",
     "accuracy_under_variation",
+    "seed_accuracy",
     "NeuronCircuitConfig",
     "NeuronCircuitResult",
     "build_neuron_circuit",

@@ -63,15 +63,58 @@ class DifferentialCrossbar:
         self.v_read = float(v_read)
         self.r_sense = float(r_sense)
 
-        g_plus, g_minus, self.weight_scale = weights_to_conductances(
-            weights, self.device
-        )
         self.array_plus = RRAMCellArray(
             weights.shape, self.device, rng=self.rng.child("plus"))
         self.array_minus = RRAMCellArray(
             weights.shape, self.device, rng=self.rng.child("minus"))
+        # (g_diff, w_eff) memoised against the arrays' programming
+        # generations — see effective_weights().
+        self._cache_versions: tuple[int, int] | None = None
+        self._cache_g_diff: np.ndarray | None = None
+        self._cache_weights: np.ndarray | None = None
+        self.program()
+
+    # -- programming -----------------------------------------------------------
+    def program(self, weights: np.ndarray | None = None) -> None:
+        """(Re-)program both arrays from ``weights`` (default: the weights
+        given at construction).
+
+        Each call draws fresh device variation from the crossbar's rng
+        streams and advances the arrays' programming generation, which
+        invalidates every cached read-derived quantity
+        (:meth:`effective_weights`, the differential conductances).
+        """
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != self.weights.shape:
+                raise ShapeError(
+                    f"expected weights of shape {self.weights.shape}, "
+                    f"got {weights.shape}"
+                )
+            self.weights = weights
+        g_plus, g_minus, self.weight_scale = weights_to_conductances(
+            self.weights, self.device
+        )
         self.array_plus.program(g_plus)
         self.array_minus.program(g_minus)
+
+    def _differential_read(self) -> np.ndarray:
+        """``G+ - G-`` with caching keyed to the programming generation.
+
+        With ``read_noise == 0`` a read is a pure function of the last
+        programming, so the subtraction is memoised until either array is
+        re-programmed.  Read noise makes every read stochastic; caching is
+        then disabled so each call still draws fresh noise.
+        """
+        if self.device.read_noise > 0:
+            return self.array_plus.read() - self.array_minus.read()
+        versions = (self.array_plus.version, self.array_minus.version)
+        if self._cache_versions != versions:
+            self._cache_g_diff = (self.array_plus.read()
+                                  - self.array_minus.read())
+            self._cache_weights = None
+            self._cache_versions = versions
+        return self._cache_g_diff
 
     # -- analog path -----------------------------------------------------------
     def bitline_currents(self, activations: np.ndarray) -> np.ndarray:
@@ -95,7 +138,7 @@ class DifferentialCrossbar:
                 f"got {activations.shape[-1]}"
             )
         voltages = activations * self.v_read
-        g_diff = self.array_plus.read() - self.array_minus.read()
+        g_diff = self._differential_read()
         return voltages @ g_diff.T
 
     def output_voltages(self, activations: np.ndarray) -> np.ndarray:
@@ -103,10 +146,28 @@ class DifferentialCrossbar:
         return self.bitline_currents(activations) * self.r_sense
 
     def effective_weights(self) -> np.ndarray:
-        """The signed weights actually realised by the programmed devices."""
+        """The signed weights actually realised by the programmed devices.
+
+        Cached against the arrays' programming generation when read noise
+        is off (mapping a network and then computing its
+        :meth:`~repro.hardware.mapped_network.HardwareMappedNetwork.
+        weight_errors` previously paid the device reads and scaling twice
+        per layer).  Re-programming either array invalidates the cache;
+        callers must not mutate the returned array.
+        """
         window = self.device.g_max - self.device.g_min
-        g_diff = self.array_plus.read() - self.array_minus.read()
-        return g_diff * self.weight_scale / window
+        if self.device.read_noise > 0:
+            return self._differential_read() * self.weight_scale / window
+        if self._cache_weights is None or (
+                self._cache_versions != (self.array_plus.version,
+                                         self.array_minus.version)):
+            self._cache_weights = (self._differential_read()
+                                   * self.weight_scale / window)
+            # Mutating the returned array would corrupt every later read;
+            # fail loudly instead of silently (callers needing a mutable
+            # copy take one explicitly).
+            self._cache_weights.setflags(write=False)
+        return self._cache_weights
 
     def matvec(self, activations: np.ndarray) -> np.ndarray:
         """Numerically-referred product ``activations @ W_eff.T``.

@@ -97,6 +97,10 @@ class RRAMCellArray:
         self.rng = as_random_state(rng)
         self._target: np.ndarray | None = None
         self._achieved: np.ndarray | None = None
+        #: Programming generation, bumped on every :meth:`program` call.
+        #: Consumers (e.g. the crossbar's effective-weight cache) compare
+        #: it to detect re-programming without holding array copies.
+        self.version = 0
 
     @property
     def is_programmed(self) -> bool:
@@ -140,6 +144,7 @@ class RRAMCellArray:
                 faulty, np.where(stuck_low, cfg.g_min, cfg.g_max), achieved)
         self._target = target
         self._achieved = achieved
+        self.version += 1
         return achieved.copy()
 
     def read(self) -> np.ndarray:

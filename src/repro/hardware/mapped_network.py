@@ -10,6 +10,13 @@ mapping reduces to constructing a clone network whose weights are the
 crossbars' effective weights.  That clone is a faithful model of the
 analog datapath under the paper's own simplifications (sense-resistor
 loading neglected via the current-amplifier argument, Section IV).
+
+The Fig. 8 sweep is embarrassingly parallel across programming draws: each
+device-noise seed owns an independent rng stream keyed by ``(root seed,
+seed name)``, so :func:`accuracy_under_variation` can fan its seeds out to
+a :class:`~repro.runtime.pool.WorkerPool` (``workers=N``) and return
+exactly the numbers the serial loop returns — the per-seed unit of work is
+the shared :func:`seed_accuracy` either way.
 """
 
 from __future__ import annotations
@@ -22,7 +29,8 @@ from ..core.trainer import run_in_batches
 from .crossbar import DifferentialCrossbar
 from .devices import RRAMDeviceConfig
 
-__all__ = ["HardwareMappedNetwork", "accuracy_under_variation"]
+__all__ = ["HardwareMappedNetwork", "accuracy_under_variation",
+           "seed_accuracy"]
 
 
 class HardwareMappedNetwork:
@@ -59,9 +67,16 @@ class HardwareMappedNetwork:
             [xbar.effective_weights() for xbar in self.crossbars]
         )
 
-    def run(self, inputs: np.ndarray, record: bool = False):
-        """Inference with the achieved (quantized + noisy) weights."""
-        return self.hardware_network.run(inputs, record=record)
+    def run(self, inputs: np.ndarray, record: bool = False,
+            engine: str = "fused", precision: str | None = None):
+        """Inference with the achieved (quantized + noisy) weights.
+
+        ``engine`` and ``precision`` are forwarded to
+        :meth:`~repro.core.network.SpikingNetwork.run` (they previously
+        had no way through and the defaults were silently used).
+        """
+        return self.hardware_network.run(inputs, record=record,
+                                         engine=engine, precision=precision)
 
     def weight_errors(self) -> list[float]:
         """Per-layer RMS relative weight error vs the software model."""
@@ -74,11 +89,53 @@ class HardwareMappedNetwork:
         return errors
 
 
+def seed_correct(network: SpikingNetwork, inputs: np.ndarray,
+                 labels: np.ndarray, bits: int, variation: float,
+                 seed: int, batch_size: int = 64, engine: str = "fused",
+                 precision: str | None = None) -> int:
+    """Correctly-classified count of one programming draw on ``inputs``.
+
+    ``seed`` fully determines the draw (quantization targets + device
+    variation), so evaluating a subset of samples — e.g. one bounded
+    shared-memory window of a pooled sweep — reproduces exactly the
+    predictions the full-set evaluation would give those samples: counts
+    over disjoint windows sum to the full-set count.
+    """
+    device = RRAMDeviceConfig(levels=2 ** int(bits), variation=variation)
+    mapped = HardwareMappedNetwork(network, device, rng=RandomState(seed))
+    outputs = run_in_batches(mapped.hardware_network, inputs, batch_size,
+                             engine=engine, precision=precision)
+    predictions = np.argmax(outputs.sum(axis=1), axis=1)
+    return int(np.sum(predictions == np.asarray(labels)))
+
+
+def seed_accuracy(network: SpikingNetwork, inputs: np.ndarray,
+                  labels: np.ndarray, bits: int, variation: float,
+                  seed: int, batch_size: int = 64, engine: str = "fused",
+                  precision: str | None = None) -> float:
+    """Accuracy of one independent programming draw (one Fig. 8 seed).
+
+    This is the unit of work of :func:`accuracy_under_variation` — executed
+    in-process by the serial loop, and window-wise (via
+    :func:`seed_correct`) inside each pool worker, producing identical
+    numbers either way (an integer count divided by ``n``).  ``seed`` is
+    the integer seed of the draw's private rng stream.
+    """
+    count = seed_correct(network, inputs, labels, bits=bits,
+                         variation=variation, seed=seed,
+                         batch_size=batch_size, engine=engine,
+                         precision=precision)
+    return count / inputs.shape[0]
+
+
 def accuracy_under_variation(network: SpikingNetwork, inputs: np.ndarray,
                              labels: np.ndarray, bits: int,
                              variation: float, n_seeds: int = 3,
                              rng: RandomState | int | None = None,
-                             batch_size: int = 64) -> tuple[float, float]:
+                             batch_size: int = 64, engine: str = "fused",
+                             precision: str | None = None,
+                             workers: int = 0,
+                             pool=None) -> tuple[float, float]:
     """Mean/std accuracy over device-noise seeds (one Fig. 8 data point).
 
     Parameters
@@ -93,19 +150,45 @@ def accuracy_under_variation(network: SpikingNetwork, inputs: np.ndarray,
         Lognormal resistance-deviation sigma (Fig. 8 x-axis, 0 - 0.5).
     n_seeds:
         Independent programming draws to average over.
+    engine, precision:
+        Forwarded to the forward runs (previously ignored).
+    workers, pool:
+        ``workers >= 1`` evaluates the seeds concurrently on a
+        :class:`~repro.runtime.pool.WorkerPool` (``pool`` reuses an
+        existing one built for ``network`` — e.g. across a whole Fig. 8
+        grid).  Every seed's rng stream is keyed by ``(rng, seed index)``
+        only, so the parallel results equal the serial ones exactly.
 
     Returns
     -------
     (mean_accuracy, std_accuracy)
     """
     root = as_random_state(rng)
-    device = RRAMDeviceConfig(levels=2 ** bits, variation=variation)
-    accuracies = []
-    for seed in range(n_seeds):
-        mapped = HardwareMappedNetwork(
-            network, device, rng=root.child(f"seed{seed}")
-        )
-        outputs = run_in_batches(mapped.hardware_network, inputs, batch_size)
-        predictions = np.argmax(outputs.sum(axis=1), axis=1)
-        accuracies.append(float(np.mean(predictions == labels)))
+    seeds = [root.child(f"seed{s}").seed for s in range(n_seeds)]
+    tasks = [(bits, variation, seed) for seed in seeds]
+    if pool is not None:
+        if pool.network is not network:
+            raise ValueError(
+                "pool was built for a different network object; build it "
+                "from this network so the workers map the same weights")
+        accuracies = pool.hw_eval(inputs, labels, tasks,
+                                  batch_size=batch_size, engine=engine,
+                                  precision=precision)
+    elif workers >= 1 and n_seeds > 1:
+        from ..runtime.pool import WorkerPool
+
+        with WorkerPool(network, workers=min(workers, n_seeds)) as transient:
+            accuracies = transient.hw_eval(inputs, labels, tasks,
+                                           batch_size=batch_size,
+                                           engine=engine,
+                                           precision=precision)
+    else:
+        accuracies = [
+            seed_accuracy(network, inputs, labels, bits=bits,
+                          variation=variation, seed=seed,
+                          batch_size=batch_size, engine=engine,
+                          precision=precision)
+            for seed in seeds
+        ]
+    accuracies = np.asarray(accuracies, dtype=np.float64)
     return float(np.mean(accuracies)), float(np.std(accuracies))

@@ -236,3 +236,57 @@ class TestStuckAtFaults:
             errors.append(
                 float(np.mean(np.abs(xbar.effective_weights() - weights))))
         assert errors[0] < errors[1] < errors[2]
+
+
+class TestEffectiveWeightCache:
+    """effective_weights() is memoised against the programming generation."""
+
+    def test_repeated_reads_return_cached_array(self):
+        rng = np.random.default_rng(7)
+        weights = rng.normal(size=(6, 6))
+        xbar = DifferentialCrossbar(
+            weights, RRAMDeviceConfig(levels=16, variation=0.1), rng=0)
+        first = xbar.effective_weights()
+        assert xbar.effective_weights() is first  # no recompute
+
+    def test_reprogram_invalidates_cache(self):
+        rng = np.random.default_rng(8)
+        weights = rng.normal(size=(6, 6))
+        device = RRAMDeviceConfig(levels=16, variation=0.2)
+        xbar = DifferentialCrossbar(weights, device, rng=0)
+        before = xbar.effective_weights().copy()
+        xbar.program()  # fresh variation draw, same target weights
+        after = xbar.effective_weights()
+        assert not np.array_equal(before, after)
+
+    def test_reprogram_with_new_weights(self):
+        xbar = DifferentialCrossbar(np.ones((3, 4)) * 0.5, rng=0)
+        xbar.program(np.ones((3, 4)) * -0.5)
+        assert np.all(xbar.effective_weights() < 0)
+        with pytest.raises(ShapeError):
+            xbar.program(np.ones((4, 3)))
+
+    def test_read_noise_disables_cache(self):
+        weights = np.ones((5, 5)) * 0.3
+        device = RRAMDeviceConfig(read_noise=0.05)
+        xbar = DifferentialCrossbar(weights, device, rng=1)
+        a = xbar.effective_weights()
+        b = xbar.effective_weights()
+        assert not np.array_equal(a, b)  # every read draws fresh noise
+
+    def test_cache_matches_uncached_value(self):
+        rng = np.random.default_rng(9)
+        weights = rng.normal(size=(6, 6))
+        device = RRAMDeviceConfig(levels=16, variation=0.1)
+        cached = DifferentialCrossbar(weights, device, rng=5)
+        window = device.g_max - device.g_min
+        expected = (cached.array_plus.read() - cached.array_minus.read()
+                    ) * cached.weight_scale / window
+        np.testing.assert_array_equal(cached.effective_weights(), expected)
+
+    def test_array_version_counts_programs(self):
+        array = RRAMCellArray((2, 2), RRAMDeviceConfig(), rng=0)
+        assert array.version == 0
+        array.program(np.full((2, 2), 5e-5))
+        array.program(np.full((2, 2), 6e-5))
+        assert array.version == 2

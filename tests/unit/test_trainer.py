@@ -164,3 +164,30 @@ class TestCalibration:
             calibrate_firing(net, np.zeros((5, 6)))
         with pytest.raises(ValueError):
             calibrate_firing(net, np.zeros((2, 5, 6)), target_rate=1.5)
+
+
+class TestEvalTrain:
+    def test_train_metrics_skipped_by_default(self, trained_setup):
+        trainer, x, y = trained_setup
+        history = trainer.fit(x, y, x, y)
+        assert all(h.train_metrics == {} for h in history)
+        assert all("accuracy" in h.test_metrics for h in history)
+
+    def test_eval_train_true_populates_train_metrics(self):
+        x, y = rate_task(n=16)
+        net = SpikingNetwork((8, 6, 2), rng=11)
+        calibrate_firing(net, x, target_rate=0.15)
+        trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+            epochs=2, batch_size=8, learning_rate=1e-3, eval_train=True),
+            rng=12)
+        history = trainer.fit(x, y)
+        assert all("accuracy" in h.train_metrics for h in history)
+
+    def test_summary_renders_without_train_metrics(self):
+        x, y = rate_task(n=16)
+        net = SpikingNetwork((8, 6, 2), rng=13)
+        calibrate_firing(net, x, target_rate=0.15)
+        trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+            epochs=1, batch_size=8, learning_rate=1e-3), rng=14)
+        history = trainer.fit(x, y)
+        assert "loss" in history[0].summary()

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Machine-readable throughput benchmark: ``make bench-json``.
+
+Times the repo's hot paths — forward, backward, the full training step and
+the Fig. 8 variation sweep — for the serial fused engine and for the
+parallel runtime at each requested worker count, then writes one JSON
+document (default ``BENCH_throughput.json``) so the performance trajectory
+of the project is diffable from PR to PR.
+
+The shapes match ``benchmarks/bench_throughput.py`` and
+``docs/performance.md``: batch 32 (forward/backward) and batch 64
+(training step), T = 100, a 700-128-128-20 adaptive MLP at ~3 % input
+spike density.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_to_json.py \
+        [--out BENCH_throughput.json] [--rounds 10] [--workers 0,1,2,4]
+
+Worker counts beyond the machine's cores are still measured (they quantify
+oversubscription overhead); the JSON records ``cpu_count`` so readers can
+judge the scaling numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.common.benchcfg import (  # noqa: E402
+    BENCH_FORWARD_BATCH as FORWARD_BATCH,
+    BENCH_SIZES as SIZES,
+    BENCH_SPIKE_DENSITY,
+    BENCH_STEPS as STEPS,
+    BENCH_TRAIN_BATCH as TRAIN_BATCH,
+    bench_inputs,
+    bench_network,
+)
+from repro.common.rng import RandomState  # noqa: E402
+from repro.core import (  # noqa: E402
+    CrossEntropyRateLoss,
+    Trainer,
+    TrainerConfig,
+    backward,
+)
+from repro.core.trainer import run_in_batches  # noqa: E402
+from repro.hardware import accuracy_under_variation  # noqa: E402
+
+SWEEP_SIZES = (700, 128, 20)
+SWEEP_SAMPLES = 128
+SWEEP_SEEDS = 4
+
+
+def _time(fn, rounds: int, warmup: int = 2) -> dict:
+    """min/mean/max wall-clock milliseconds over ``rounds`` calls."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return {
+        "min_ms": round(min(samples), 3),
+        "mean_ms": round(statistics.fmean(samples), 3),
+        "max_ms": round(max(samples), 3),
+        "rounds": rounds,
+    }
+
+
+def bench_forward(rounds: int) -> dict:
+    net = bench_network()
+    x = bench_inputs(FORWARD_BATCH)
+    out = {
+        "fused": _time(lambda: net.run(x), rounds),
+        "fused_float32": _time(lambda: net.run(x, precision="float32"),
+                               rounds),
+        "step_reference": _time(lambda: net.run(x, engine="step"),
+                                max(rounds // 2, 3)),
+    }
+    return out
+
+
+def bench_backward(rounds: int) -> dict:
+    net = bench_network()
+    x = bench_inputs(FORWARD_BATCH)
+    labels = np.arange(FORWARD_BATCH) % SIZES[-1]
+    loss = CrossEntropyRateLoss()
+    outputs, record = net.run(x, record=True)
+    _, grad_out = loss.value_and_grad(outputs, labels)
+    return {
+        "fused": _time(lambda: backward(net, record, grad_out), rounds),
+        "reference": _time(
+            lambda: backward(net, record, grad_out, engine="reference"),
+            max(rounds // 2, 3)),
+    }
+
+
+def bench_train_step(rounds: int, workers: int) -> dict:
+    net = bench_network(seed=2)
+    x = bench_inputs(TRAIN_BATCH, seed=3)
+    labels = np.arange(TRAIN_BATCH) % SIZES[-1]
+    trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
+        epochs=1, batch_size=TRAIN_BATCH, learning_rate=1e-4,
+        optimizer="adamw", workers=workers))
+    try:
+        return _time(lambda: trainer.train_batch(x, labels), rounds)
+    finally:
+        trainer.close()
+
+
+def bench_inference(rounds: int, workers: int) -> dict:
+    """Sharded forward over 4 batches (steady state: persistent pool)."""
+    net = bench_network(seed=4)
+    x = bench_inputs(4 * FORWARD_BATCH, seed=5)
+    if workers == 0:
+        return _time(
+            lambda: run_in_batches(net, x, FORWARD_BATCH), rounds)
+    from repro.runtime import WorkerPool
+
+    with WorkerPool(net, workers=workers) as pool:
+        return _time(
+            lambda: run_in_batches(net, x, FORWARD_BATCH, pool=pool),
+            rounds)
+
+
+def bench_variation_sweep(rounds: int, workers: int) -> dict:
+    """One Fig. 8 grid point, n_seeds=4 (persistent pool across calls)."""
+    net = bench_network(sizes=SWEEP_SIZES, seed=6)
+    rng = RandomState(7)
+    x = (rng.random((SWEEP_SAMPLES, STEPS, SWEEP_SIZES[0]))
+         < BENCH_SPIKE_DENSITY).astype(np.float64)
+    labels = np.arange(SWEEP_SAMPLES) % SWEEP_SIZES[-1]
+
+    def point(pool=None):
+        return accuracy_under_variation(
+            net, x, labels, bits=4, variation=0.2, n_seeds=SWEEP_SEEDS,
+            rng=11, pool=pool)
+
+    if workers == 0:
+        return _time(point, rounds)
+    from repro.runtime import WorkerPool
+
+    with WorkerPool(net, workers=min(workers, SWEEP_SEEDS)) as pool:
+        return _time(lambda: point(pool), rounds)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_throughput.json")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--workers", default="0,1,2,4",
+                        help="comma-separated worker counts for the "
+                             "parallel sections (0 = serial)")
+    args = parser.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",") if w != ""]
+    rounds = args.rounds
+
+    report = {
+        "meta": {
+            "generated": datetime.datetime.now(datetime.timezone.utc)
+                         .isoformat(timespec="seconds"),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "shapes": {
+                "sizes": list(SIZES),
+                "steps": STEPS,
+                "forward_batch": FORWARD_BATCH,
+                "train_batch": TRAIN_BATCH,
+                "sweep": {"sizes": list(SWEEP_SIZES),
+                          "samples": SWEEP_SAMPLES,
+                          "n_seeds": SWEEP_SEEDS},
+            },
+        },
+        "forward": bench_forward(rounds),
+        "backward": bench_backward(rounds),
+        "train_step": {}, "inference": {}, "variation_sweep": {},
+    }
+    print(f"forward fused: {report['forward']['fused']['mean_ms']} ms mean")
+    print(f"backward fused: {report['backward']['fused']['mean_ms']} ms mean")
+    for workers in worker_counts:
+        label = "serial" if workers == 0 else f"workers{workers}"
+        report["train_step"][label] = bench_train_step(rounds, workers)
+        report["inference"][label] = bench_inference(
+            max(rounds // 2, 3), workers)
+        report["variation_sweep"][label] = bench_variation_sweep(
+            max(rounds // 3, 2), workers)
+        print(f"train step [{label}]: "
+              f"{report['train_step'][label]['mean_ms']} ms mean")
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
