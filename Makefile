@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-paper docs quickstart
+.PHONY: test bench bench-json bench-serving bench-paper docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -20,6 +20,10 @@ bench:
 bench-json:
 	$(PYTHON) tools/bench_to_json.py --out BENCH_throughput.json
 
+## open-loop serving benchmark (throughput_rps, p50/p95/p99 latency)
+bench-serving:
+	$(PYTHON) tools/bench_to_json.py --serving --out BENCH_serving.json
+
 ## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
 bench-paper:
 	$(PYTHON) -m pytest benchmarks -q
@@ -31,3 +35,7 @@ docs:
 ## end-to-end smoke: train the temporal-order quickstart task
 quickstart:
 	$(PYTHON) examples/quickstart.py
+
+## boot the model server from a registry checkpoint, stream one SHD sample
+serve-demo:
+	$(PYTHON) examples/serve_demo.py

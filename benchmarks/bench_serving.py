@@ -1,0 +1,137 @@
+"""Serving benchmark: open-loop arrivals through the micro-batching server.
+
+Drives synthetic Poisson request streams (``repro.serve.loadgen``) through
+a resident :class:`~repro.serve.server.ModelServer` on the repo's standard
+benchmark shape (700-128-128-20 adaptive MLP, ``repro.common.benchcfg``)
+and reports the serving metrics the offline benchmarks cannot measure:
+**throughput_rps** and **p50/p95/p99 arrival-to-answer latency** per
+offered load.
+
+Three load points per engine configuration:
+
+* ``light``  — well under capacity: latency is dominated by the
+  ``max_wait_ms`` coalescing window (the latency floor);
+* ``heavy``  — near capacity: ticks run back-to-back at high occupancy
+  (the throughput plateau);
+* ``overload`` — offered load beyond capacity: the bounded queue rejects
+  (backpressure) instead of growing latency without bound.
+
+Run standalone (prints a table)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+or via ``make bench-serving`` / ``tools/bench_to_json.py --serving`` to
+write ``BENCH_serving.json``.  As a pytest file it runs a reduced smoke
+scenario only.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common.benchcfg import BENCH_SIZES, BENCH_SPIKE_DENSITY, bench_network
+from repro.serve import ModelServer
+from repro.serve.loadgen import open_loop
+
+#: Offered-load scenarios (chunks/s).  Rates bracket the measured 1-core
+#: capacity of the standard shape (~6k chunks/s at chunk_steps=10,
+#: max_batch=16 — see docs/serving.md for the measured table).
+SCENARIOS = [
+    {"id": "light", "rate_rps": 300.0, "requests": 300},
+    {"id": "heavy", "rate_rps": 4000.0, "requests": 800},
+    {"id": "overload", "rate_rps": 20000.0, "requests": 1200},
+]
+
+#: Server configurations measured per scenario.
+CONFIGS = [
+    {"id": "fused_float64", "engine": "fused", "precision": "float64"},
+    {"id": "fused_float32", "engine": "fused", "precision": "float32"},
+]
+
+SESSIONS = 32
+CHUNK_STEPS = 10
+MAX_BATCH = 16
+MAX_WAIT_MS = 5.0
+QUEUE_LIMIT = 128
+
+
+def serve_scenario(config: dict, scenario: dict, sessions: int = SESSIONS,
+                   chunk_steps: int = CHUNK_STEPS) -> dict:
+    """One (server config, load point) measurement; returns the report dict."""
+    server = ModelServer(
+        bench_network(), engine=config["engine"],
+        precision=config["precision"], max_batch=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS, queue_limit=QUEUE_LIMIT,
+    )
+    try:
+        report = open_loop(
+            server, sessions=sessions, requests=scenario["requests"],
+            chunk_steps=chunk_steps, rate_rps=scenario["rate_rps"],
+            spike_density=BENCH_SPIKE_DENSITY, rng=7,
+        )
+    finally:
+        server.close()
+    return report.to_dict()
+
+
+def run_serving_bench(scenarios=None, configs=None) -> dict:
+    """The full grid; shape of the returned dict matches
+    ``BENCH_serving.json``'s ``serving`` section."""
+    out: dict = {}
+    for config in configs or CONFIGS:
+        rows = {}
+        for scenario in scenarios or SCENARIOS:
+            rows[scenario["id"]] = serve_scenario(config, scenario)
+            print(f"{config['id']:>14} {scenario['id']:>9}: "
+                  f"{_render_row(rows[scenario['id']])}")
+        out[config["id"]] = rows
+    return out
+
+
+def _render_row(row: dict) -> str:
+    lat = row["latency_ms"]
+    return (f"offered {row['offered_rps']:7.0f} rps  served "
+            f"{row['throughput_rps']:7.0f} rps  rejected {row['rejected']:4d}  "
+            f"batch {row['mean_batch']:5.2f}  p50 {lat['p50']:7.2f} ms  "
+            f"p95 {lat['p95']:7.2f} ms  p99 {lat['p99']:7.2f} ms")
+
+
+def serving_meta() -> dict:
+    return {
+        "sizes": list(BENCH_SIZES),
+        "sessions": SESSIONS,
+        "chunk_steps": CHUNK_STEPS,
+        "max_batch": MAX_BATCH,
+        "max_wait_ms": MAX_WAIT_MS,
+        "queue_limit": QUEUE_LIMIT,
+        "spike_density": BENCH_SPIKE_DENSITY,
+        "arrivals": "poisson open-loop, virtual arrival clock + measured "
+                    "tick compute (see repro/serve/loadgen.py)",
+    }
+
+
+# -- pytest entry point (reduced scale) -------------------------------------
+
+def test_serving_smoke():
+    """Structure check on a reduced load point (fast; run explicitly or
+    via the tier-1-adjacent bench invocation)."""
+    row = serve_scenario(CONFIGS[0],
+                         {"id": "smoke", "rate_rps": 500.0, "requests": 40},
+                         sessions=8)
+    assert row["completed"] + row["rejected"] == 40
+    assert row["throughput_rps"] > 0
+    for key in ("p50", "p95", "p99"):
+        assert row["latency_ms"][key] >= 0
+
+
+def main() -> int:
+    print(__doc__.splitlines()[0])
+    run_serving_bench()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

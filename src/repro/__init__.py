@@ -15,6 +15,9 @@ The package is organised as:
 * :mod:`repro.runtime` — the parallel runtime: a shared-memory worker
   pool for data-parallel training / sharded inference / parallel sweeps,
   and the workspace buffer arenas the fused engine recycles through.
+* :mod:`repro.serve` — the serving layer: streaming stateful inference
+  (``SpikingNetwork.run_stream`` + ``StreamState``), per-client sessions,
+  a micro-batching scheduler, and a versioned model registry.
 * :mod:`repro.autograd` — a minimal reverse-mode AD engine used to
   cross-check the hand-derived BPTT.
 * :mod:`repro.analysis` — spike-train metrics and distances.
@@ -38,14 +41,16 @@ from .core import (
     NeuronParameters,
     SpikingLinear,
     SpikingNetwork,
+    StreamState,
     Trainer,
     TrainerConfig,
     VanRossumLoss,
     backward,
 )
 from .runtime import WorkerPool, Workspace
+from .serve import MicroBatcher, ModelRegistry, ModelServer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "RandomState",
@@ -60,7 +65,11 @@ __all__ = [
     "TrainerConfig",
     "VanRossumLoss",
     "backward",
+    "StreamState",
     "WorkerPool",
     "Workspace",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelServer",
     "__version__",
 ]

@@ -2,6 +2,7 @@
 
 from .config import BaseConfig
 from .errors import (
+    CapacityError,
     CircuitError,
     ConfigError,
     DatasetError,
@@ -18,6 +19,7 @@ from .units import FEMTO, GIGA, KILO, MEGA, MICRO, MILLI, NANO, PICO, si_format
 
 __all__ = [
     "BaseConfig",
+    "CapacityError",
     "CircuitError",
     "ConfigError",
     "DatasetError",

@@ -41,6 +41,15 @@ class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment failed to run."""
 
 
+class CapacityError(ReproError):
+    """A bounded queue or resource refused new work (backpressure).
+
+    Raised by the serving layer when its admission queue is full; the
+    caller is expected to retry later or shed the request — the server
+    never grows its queue without bound.
+    """
+
+
 def check_shape(array, expected: tuple, name: str) -> None:
     """Raise :class:`ShapeError` unless ``array.shape == expected``.
 

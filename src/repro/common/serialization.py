@@ -4,6 +4,14 @@ Artifacts are stored as a ``.npz`` archive of named arrays plus a JSON
 sidecar of metadata (configs, metrics, provenance).  Both files share a stem
 so an artifact can be moved around as a pair.
 
+On top of the raw array format sit **model checkpoints**
+(:func:`save_checkpoint` / :func:`load_checkpoint`): one artifact holding a
+:class:`~repro.core.network.SpikingNetwork`'s ``state_dict`` *plus* the
+architecture needed to rebuild it (layer sizes, neuron kind, neuron
+parameters), so a trained model round-trips from disk without the caller
+reconstructing the network by hand.  The serving model registry
+(:class:`repro.serve.ModelRegistry`) versions these checkpoints.
+
 The format is intentionally dumb: no pickling, no executable content — a
 model file from an untrusted source can at worst contain wrong numbers.
 """
@@ -18,7 +26,17 @@ import numpy as np
 
 from .errors import SerializationError
 
-__all__ = ["save_arrays", "load_arrays", "save_json", "load_json"]
+__all__ = [
+    "save_arrays",
+    "load_arrays",
+    "save_json",
+    "load_json",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: Tag written into every checkpoint sidecar; bumped on layout changes.
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
 
 
 def save_arrays(path: str, arrays: Mapping[str, np.ndarray],
@@ -80,6 +98,61 @@ def load_json(path: str) -> dict:
         raise SerializationError(f"JSON artifact not found: {path}")
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def save_checkpoint(path: str, network, meta: dict | None = None) -> str:
+    """Save a full model checkpoint: parameters + rebuildable architecture.
+
+    Parameters
+    ----------
+    path:
+        Target stem/path (``.npz`` appended if missing; a ``.json``
+        sidecar is written alongside).
+    network:
+        The :class:`~repro.core.network.SpikingNetwork` to persist.  Its
+        ``state_dict`` plus sizes / neuron kind / neuron parameters are
+        stored; the surrogate gradient is a training-time object and is
+        not serialised (a loaded checkpoint carries the default).
+    meta:
+        Optional JSON-serialisable user metadata (metrics, provenance),
+        stored under the sidecar's ``"meta"`` key.
+
+    Returns the ``.npz`` path actually written.
+    """
+    metadata = {
+        "format": CHECKPOINT_FORMAT,
+        "network": {
+            "sizes": [int(s) for s in network.sizes],
+            "neuron_kind": network.neuron_kind,
+            "params": network.params.to_dict(),
+        },
+        "meta": meta or {},
+    }
+    save_arrays(path, network.state_dict(), metadata)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str):
+    """Rebuild a network saved by :func:`save_checkpoint`.
+
+    Returns ``(network, meta)`` where ``meta`` is the user metadata dict
+    passed at save time.  The architecture (sizes, neuron kind, neuron
+    parameters) comes from the sidecar; weights from the archive.
+    """
+    from ..core.network import SpikingNetwork  # lazy: common must not
+    from ..core.neurons import NeuronParameters  # depend on core at import
+
+    arrays, metadata = load_arrays(path)
+    spec = metadata.get("network")
+    if metadata.get("format") != CHECKPOINT_FORMAT or not spec:
+        raise SerializationError(
+            f"{path}: not a {CHECKPOINT_FORMAT} checkpoint (write one with "
+            f"save_checkpoint)")
+    params = NeuronParameters.from_dict(spec["params"])
+    network = SpikingNetwork(tuple(spec["sizes"]), params=params,
+                             neuron_kind=spec["neuron_kind"], rng=0)
+    network.load_state_dict(arrays)
+    return network, metadata.get("meta", {})
 
 
 def _sidecar_path(npz_path: str) -> str:

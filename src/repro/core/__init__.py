@@ -4,12 +4,14 @@ LIF neurons, surrogate-gradient BPTT, and the two task losses."""
 from .backprop import GradientResult, backward
 from .engine import (
     PRECISIONS,
+    StreamState,
     exp_scan,
     exp_scan_reverse,
     fused_backward,
     fused_layer_forward,
     fused_run,
     resolve_precision,
+    run_streaming,
 )
 from .filters import (
     DoubleExponentialKernel,
@@ -47,6 +49,8 @@ __all__ = [
     "GradientResult",
     "backward",
     "PRECISIONS",
+    "StreamState",
+    "run_streaming",
     "exp_scan",
     "exp_scan_reverse",
     "fused_backward",

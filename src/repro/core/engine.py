@@ -73,6 +73,8 @@ __all__ = [
     "fused_layer_forward",
     "fused_run",
     "fused_backward",
+    "StreamState",
+    "run_streaming",
 ]
 
 #: Supported precision names and their dtypes.
@@ -103,12 +105,20 @@ def resolve_precision(precision) -> np.dtype | None:
 
 # -- scan kernels -----------------------------------------------------------
 
-def exp_scan(xs: np.ndarray, decay: float, out: np.ndarray | None = None) -> np.ndarray:
+def exp_scan(xs: np.ndarray, decay: float, out: np.ndarray | None = None,
+             carry: np.ndarray | None = None) -> np.ndarray:
     """Causal first-order scan ``y[t] = decay*y[t-1] + x[t]`` along axis 1.
 
     ``xs`` has shape ``(batch, T, n)``.  The scan is evaluated in place
     over ``out`` (allocated once when omitted); each step is two fused
     elementwise ops on a ``(batch, n)`` slice.  ``out`` may alias ``xs``.
+
+    ``carry`` is the scan value *preceding* ``xs[:, 0]`` — the final
+    scanned value of the previous chunk of a split sequence.  With it the
+    first step performs exactly the same two ops as every interior step
+    (``y[0] = decay*carry + x[0]``), so scanning a sequence in chunks and
+    threading the carry is bitwise-equal to one continuous scan.  ``None``
+    (the default) keeps the original behavior ``y[0] = x[0]``.
     """
     xs = np.asarray(xs)
     if out is None:
@@ -116,13 +126,20 @@ def exp_scan(xs: np.ndarray, decay: float, out: np.ndarray | None = None) -> np.
     steps = xs.shape[1]
     if steps == 0:
         return out
-    out[:, 0] = xs[:, 0]
     if out is xs:
         scratch = np.empty(xs.shape[::2], dtype=xs.dtype)  # (batch, n)
+        if carry is not None:
+            np.multiply(carry, decay, out=scratch)
+            out[:, 0] += scratch
         for t in range(1, steps):
             np.multiply(out[:, t - 1], decay, out=scratch)
             out[:, t] += scratch
     else:
+        out[:, 0] = xs[:, 0]
+        if carry is not None:
+            scratch = np.empty(xs.shape[::2], dtype=xs.dtype)
+            np.multiply(carry, decay, out=scratch)
+            out[:, 0] += scratch
         for t in range(1, steps):
             cur = out[:, t]
             np.multiply(out[:, t - 1], decay, out=cur)
@@ -155,19 +172,44 @@ def _as_csr(flat: np.ndarray, ws=None):
     """
     if _sparse is None or flat.size < _SPARSE_MIN_SIZE:
         return None
-    m, n = flat.shape
-    raveled = np.ascontiguousarray(flat).reshape(-1)
     # Explicit bool compare first: flatnonzero on a float array pays an
     # extra full-size temporary and runs ~3x slower.
+    raveled = np.ascontiguousarray(flat).reshape(-1)
     idx = np.flatnonzero(raveled != 0)
     if idx.size > SPARSE_DENSITY_THRESHOLD * flat.size:
         return None
+    return _build_csr(flat, raveled, idx, ws)
+
+
+def _build_csr(flat: np.ndarray, raveled: np.ndarray, idx: np.ndarray, ws):
+    """Assemble the canonical CSR from a precomputed nonzero index scan."""
+    m, n = flat.shape
     bounds = (ws.row_bounds(m, n) if ws is not None
               else np.arange(0, (m + 1) * n, n))
     indptr = np.searchsorted(idx, bounds)
     return _sparse.csr_matrix(
         (raveled[idx], idx % n, indptr), shape=(m, n)
     )
+
+
+def _as_csr_always(flat: np.ndarray, ws=None):
+    """CSR of a spike matrix regardless of size or density (or ``None``
+    without scipy).
+
+    The streaming path (:func:`run_streaming`) uses this instead of the
+    :func:`_as_csr` probe: the CSR product computes every output row as an
+    independent sum over that row's nonzeros in index order, so the result
+    for one sample/step is bitwise-independent of which other rows share
+    the matrix — the property that makes arbitrary chunking and the
+    serving micro-batcher's session gathering exact.  The dense GEMM has
+    no such guarantee (BLAS picks different kernels for different row
+    counts), which is why the probe's economics do not apply here.
+    """
+    if _sparse is None:
+        return None
+    raveled = np.ascontiguousarray(flat).reshape(-1)
+    idx = np.flatnonzero(raveled != 0)
+    return _build_csr(flat, raveled, idx, ws)
 
 
 #: Default for ``spike_matmul``'s ``csr``: "not computed yet, decide here".
@@ -459,6 +501,324 @@ def fused_run(network, inputs: np.ndarray, record: bool = False, ws=None):
     # record reuses them for its weight-gradient contractions.
     run_record._input_csrs = input_csrs
     return spikes, run_record
+
+
+# -- streaming --------------------------------------------------------------
+
+class StreamState:
+    """Carryable per-layer state for chunked (streaming) inference.
+
+    A stream processes a conceptually endless spike sequence in chunks:
+    ``outputs, state = network.run_stream(chunk, state)`` consumes one
+    ``(batch, T_chunk, n_in)`` chunk and advances the state so the next
+    chunk continues exactly where this one stopped.  Splitting a sequence
+    at arbitrary boundaries changes no arithmetic — the recurrences are
+    first-order, so everything step ``t+1`` needs from the past is a
+    single ``(batch, n)`` slice per quantity (pinned bitwise against the
+    one-shot :meth:`~repro.core.network.SpikingNetwork.run` in
+    ``tests/unit/test_streaming.py``).
+
+    The representation is engine-specific (states from different engines
+    are not interchangeable, and :meth:`~repro.core.network.SpikingNetwork.
+    run_stream` rejects a mismatch):
+
+    * ``engine="fused"`` — per adaptive layer ``{"g", "h", "o"}``: the
+      scanned crossbar drive ``g[t]`` (eq. 9 applied after the matmul),
+      the reset filter ``h[t]`` (eq. 8) and the last output spikes
+      ``O[t]``; per hard-reset layer ``{"v"}``: the post-reset membrane.
+      All in the stream's dtype.
+    * ``engine="step"`` — per adaptive layer ``{"k", "h", "o"}`` with
+      ``k`` the *presynaptic* filter state the step path holds on the
+      layer (the fused path's ``g = k W^T`` is algebraically equal but not
+      bitwise, hence the split representation); per hard-reset layer
+      ``{"v"}``.  ``h``/``o``/``v`` are kept float64 regardless of the
+      stream dtype because the step path's membrane math runs against the
+      float64 weights (zero-initialised state makes the first-step values
+      identical either way).
+
+    Instances are plain data: they never reference the network (a server
+    holds thousands of them per resident model) and the network's own
+    layer/neuron scratch state is untouched by streaming runs.
+    ``batch`` may exceed 1 — the serving micro-batcher gathers many
+    single-session states into one batched state via :meth:`copy_row`.
+    """
+
+    def __init__(self, engine: str, dtype, batch: int,
+                 sizes: tuple, kinds: tuple,
+                 layers: list[dict[str, np.ndarray]]):
+        self.engine = engine
+        self.dtype = np.dtype(dtype)
+        self.batch = int(batch)
+        self.sizes = tuple(sizes)
+        self.kinds = tuple(kinds)
+        self.layers = layers
+        #: Per-row count of consumed time steps (bookkeeping only).
+        self.steps = np.zeros(self.batch, dtype=np.int64)
+
+    @classmethod
+    def for_network(cls, network, batch: int, engine: str = "fused",
+                    precision=None, dtype=np.float64, ws=None) -> "StreamState":
+        """A fresh (all-zero) state for ``batch`` independent streams.
+
+        ``ws`` optionally serves the state arrays from a
+        :class:`~repro.runtime.workspace.Workspace` — only for transient
+        states whose owner recycles them via :meth:`release_to` (the
+        serving tick's gather state); session-lived states use plain
+        allocation.
+        """
+        if engine not in ("fused", "step"):
+            raise ValueError(
+                f"engine must be 'fused' or 'step', got {engine!r}")
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        resolved = resolve_precision(precision) or np.dtype(dtype)
+        state_f64 = np.dtype(np.float64)
+        zeros = (np.zeros if ws is None
+                 else (lambda shape, dtype: ws.zeros(shape, dtype)))
+        layers = []
+        for layer in network.layers:
+            if layer.neuron_kind == "adaptive":
+                arrays = {
+                    ("g" if engine == "fused" else "k"): zeros(
+                        (batch, layer.n_out if engine == "fused"
+                         else layer.n_in), dtype=resolved),
+                    "h": zeros((batch, layer.n_out),
+                               dtype=resolved if engine == "fused"
+                               else state_f64),
+                    "o": zeros((batch, layer.n_out),
+                               dtype=resolved if engine == "fused"
+                               else state_f64),
+                }
+            else:
+                arrays = {"v": zeros((batch, layer.n_out),
+                                     dtype=resolved if engine == "fused"
+                                     else state_f64)}
+            layers.append(arrays)
+        return cls(engine, resolved, batch, network.sizes,
+                   tuple(layer.neuron_kind for layer in network.layers),
+                   layers)
+
+    def release_to(self, ws) -> None:
+        """Hand workspace-served state arrays back to ``ws``.
+
+        Only for states built with ``for_network(..., ws=...)`` whose
+        lifetime has ended (the serving tick's batched gather state);
+        the state must not be used afterwards.  Plain-allocated arrays
+        are ignored by ``ws.release``, so calling this on a mixed or
+        plain state is harmless.
+        """
+        for arrays in self.layers:
+            ws.release(*arrays.values())
+
+    def compatible_with(self, network) -> bool:
+        """Whether this state was built for ``network``'s architecture."""
+        return (self.sizes == tuple(network.sizes)
+                and self.kinds == tuple(layer.neuron_kind
+                                        for layer in network.layers))
+
+    def copy_row(self, row: int, source: "StreamState",
+                 source_row: int) -> None:
+        """Copy one stream's state from ``source[source_row]`` into
+        ``self[row]`` — the serving gather/scatter primitive."""
+        if (source.engine != self.engine or source.sizes != self.sizes
+                or source.kinds != self.kinds):
+            raise ValueError("cannot copy state rows across stream kinds")
+        for mine, theirs in zip(self.layers, source.layers):
+            for key, arr in mine.items():
+                arr[row] = theirs[key][source_row]
+        self.steps[row] = source.steps[source_row]
+
+    def clone(self) -> "StreamState":
+        """An independent deep copy (e.g. for forking a stream)."""
+        twin = StreamState(
+            self.engine, self.dtype, self.batch, self.sizes, self.kinds,
+            [{key: arr.copy() for key, arr in layer.items()}
+             for layer in self.layers])
+        twin.steps = self.steps.copy()
+        return twin
+
+    def __repr__(self) -> str:
+        arch = "-".join(str(s) for s in self.sizes)
+        return (f"StreamState({arch}, engine={self.engine!r}, "
+                f"batch={self.batch}, dtype={self.dtype.name}, "
+                f"steps={self.steps.tolist()})")
+
+
+def _resolve_lengths(lengths, batch: int, steps: int):
+    """Validate per-row chunk lengths; returns ``(lengths, ends)`` where
+    ``ends`` maps a time index to the rows whose stream finishes there.
+
+    ``None`` lengths (or all rows spanning the full chunk) take the
+    homogeneous fast path ``(None, None)``.
+    """
+    if lengths is None:
+        return None, None
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (batch,):
+        raise ShapeError(
+            f"lengths must have shape ({batch},), got {lengths.shape}")
+    if steps == 0:
+        raise ShapeError("lengths given for an empty chunk")
+    if lengths.min() < 1 or lengths.max() > steps:
+        raise ShapeError(
+            f"lengths must lie in [1, {steps}], got "
+            f"[{lengths.min()}, {lengths.max()}]")
+    if np.all(lengths == steps):
+        return None, None
+    ends = {}
+    for t in np.unique(lengths - 1):
+        ends[int(t)] = np.flatnonzero(lengths - 1 == t)
+    return lengths, ends
+
+
+def run_streaming(network, chunk: np.ndarray, state: StreamState,
+                  lengths=None, ws=None) -> np.ndarray:
+    """Advance a fused-engine stream by one chunk; returns output spikes.
+
+    ``chunk`` is a validated ``(batch, T_chunk, n_in)`` array in the
+    state's dtype (:meth:`~repro.core.network.SpikingNetwork.run_stream`
+    handles coercion).  ``state`` is advanced in place.  ``lengths``
+    (optional, ``(batch,)`` ints in ``[1, T_chunk]``) marks each row's
+    valid prefix in a padded chunk: rows still compute the padded tail
+    (rejecting cross-row work would cost more than it saves) but their
+    state is captured at their own final valid step, so a padded batched
+    run leaves every stream exactly where its own data ended.  Output
+    values beyond a row's length are unspecified.
+
+    Every crossbar product uses the CSR spike product unconditionally
+    (:func:`_as_csr_always`): CSR output rows are computed independently
+    in fixed index order, which makes the chunked/batched results
+    bitwise-equal to a one-shot fused run whose probe also picked CSR.
+    Without scipy the dense fallback keeps results correct to ulp-level
+    accumulation differences, but the bitwise guarantee lapses.
+
+    Unlike :func:`fused_run`, the network's layer/neuron scratch state is
+    left untouched — many concurrent streams share one resident network.
+    """
+    batch, steps, _ = chunk.shape
+    lengths, ends = _resolve_lengths(lengths, batch, steps)
+    if steps == 0:
+        return np.zeros((batch, 0, network.sizes[-1]), dtype=state.dtype)
+    x = chunk
+    for layer, st in zip(network.layers, state.layers):
+        if layer.neuron_kind == "adaptive":
+            spikes = _stream_adaptive_forward(layer, x, st, lengths, ends,
+                                              ws)
+        else:
+            spikes = _stream_hard_reset_forward(layer, x, st, lengths,
+                                                ends, ws)
+        if ws is not None and x is not chunk:
+            ws.release(x)
+        x = spikes
+    if lengths is None:
+        state.steps += steps
+    else:
+        state.steps += lengths
+    return x
+
+
+def _stream_gv(layer, xs, ws, gain: float = 1.0) -> np.ndarray:
+    """The chunk's crossbar drive via the always-CSR product."""
+    batch, steps, n_in = xs.shape
+    flat_x = xs.reshape(batch * steps, n_in)
+    return _layer_gv(layer.weight, xs, xs.dtype,
+                     _as_csr_always(flat_x, ws), ws, gain=gain)
+
+
+def _stream_adaptive_forward(layer, xs, st, lengths, ends, ws):
+    """One chunk of an adaptive layer, carrying ``{g, h, o}`` across calls.
+
+    Op-for-op the same sequence as :func:`_fused_adaptive_forward` — the
+    drive scan seeded with the carried ``g`` (see :func:`exp_scan`) and
+    the threshold loop seeded with the carried ``h``/``o`` (zero carries
+    reproduce the one-shot first step exactly, because ``0*beta`` and
+    ``+= 0`` are bitwise no-ops on the all-positive-zero fresh state).
+    """
+    dtype = xs.dtype
+    batch, steps, _ = xs.shape
+    n_out = layer.n_out
+    neuron = layer.neuron
+    theta = neuron.params.theta
+    v_th = neuron.params.v_th
+    beta = neuron.beta_r
+
+    gv = _stream_gv(layer, xs, ws)
+    exp_scan(gv, layer.alpha, out=gv, carry=st["g"])
+    # The carry for the next chunk is the *scanned drive* at each row's
+    # final valid step — captured before the threshold loop rewrites
+    # ``gv`` into membrane values in place.
+    if lengths is None:
+        np.copyto(st["g"], gv[:, -1])
+    else:
+        np.copyto(st["g"], gv[np.arange(batch), lengths - 1])
+
+    spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
+    h = st["h"]
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
+    h_final = o_final = None
+    if ends is not None:
+        h_final = _ws_empty(ws, (batch, n_out), dtype)
+        o_final = _ws_empty(ws, (batch, n_out), dtype)
+    o_prev = st["o"]
+    for t in range(steps):
+        h *= beta
+        h += o_prev
+        v_t = gv[:, t]
+        np.multiply(h, theta, out=scratch)
+        v_t -= scratch                    # v[t] = g[t] - theta*h[t] (eq. 6)
+        o_t = spikes[:, t]
+        o_t[...] = v_t >= v_th            # O[t] = U(v[t] - Vth) (eq. 10/11)
+        o_prev = o_t
+        if ends is not None:
+            rows = ends.get(t)
+            if rows is not None:
+                h_final[rows] = h[rows]
+                o_final[rows] = o_t[rows]
+    if ends is None:
+        np.copyto(st["o"], spikes[:, -1])
+    else:
+        # Padded rows kept evolving the shared working ``h`` past their
+        # end; restore every row from its own captured snapshot.
+        np.copyto(st["h"], h_final)
+        np.copyto(st["o"], o_final)
+        _ws_release(ws, h_final, o_final)
+    _ws_release(ws, scratch, gv)
+    return spikes
+
+
+def _stream_hard_reset_forward(layer, xs, st, lengths, ends, ws):
+    """One chunk of a hard-reset layer, carrying ``{v}`` across calls."""
+    dtype = xs.dtype
+    batch, steps, _ = xs.shape
+    n_out = layer.n_out
+    neuron = layer.neuron
+    alpha = neuron.alpha
+    v_th = neuron.params.v_th
+
+    gv = _stream_gv(layer, xs, ws, gain=float(neuron.input_gain))
+    spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
+    v_post = st["v"]
+    scratch = _ws_empty(ws, (batch, n_out), dtype)
+    v_final = None
+    if ends is not None:
+        v_final = _ws_empty(ws, (batch, n_out), dtype)
+    for t in range(steps):
+        v_t = gv[:, t]
+        np.multiply(v_post, alpha, out=scratch)
+        v_t += scratch                    # v_pre[t] = alpha*v_post[t-1] + j[t]
+        o_t = spikes[:, t]
+        o_t[...] = v_t >= v_th
+        np.subtract(1.0, o_t, out=scratch)
+        np.multiply(v_t, scratch, out=v_post)   # hard reset (eq. 1b)
+        if ends is not None:
+            rows = ends.get(t)
+            if rows is not None:
+                v_final[rows] = v_post[rows]
+    if ends is not None:
+        np.copyto(st["v"], v_final)
+        _ws_release(ws, v_final)
+    _ws_release(ws, scratch, gv)
+    return spikes
 
 
 # -- backward ---------------------------------------------------------------

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..common.errors import ShapeError
 from ..common.rng import RandomState, as_random_state
-from .engine import fused_run, resolve_precision
+from .engine import StreamState, fused_run, resolve_precision, run_streaming
 from .layers import LayerStepRecord, SpikingLinear
 from .neurons import NeuronParameters
 from .surrogate import SurrogateGradient
@@ -218,6 +218,144 @@ class SpikingNetwork:
             ]
             run_record = RunRecord(inputs=inputs, layers=layer_records)
         return outputs, run_record
+
+    # -- streaming -----------------------------------------------------------
+    def new_stream_state(self, batch_size: int, engine: str = "fused",
+                         precision: str | None = None,
+                         dtype=np.float64) -> StreamState:
+        """A fresh :class:`~repro.core.engine.StreamState` for ``batch_size``
+        independent streams (see :meth:`run_stream`)."""
+        return StreamState.for_network(self, batch_size, engine=engine,
+                                       precision=precision, dtype=dtype)
+
+    def run_stream(self, chunk: np.ndarray, state: StreamState | None = None,
+                   engine: str | None = None, precision: str | None = None,
+                   workspace=None, lengths=None
+                   ) -> tuple[np.ndarray, StreamState]:
+        """Consume one chunk of a live spike stream; returns
+        ``(outputs, state)``.
+
+        Feeding a T-step sequence in chunks of any sizes produces
+        bitwise-identical output spikes to the one-shot :meth:`run` of the
+        same engine (pinned in ``tests/unit/test_streaming.py``; for the
+        fused engine the guarantee needs scipy — see
+        :func:`~repro.core.engine.run_streaming`).  The stream's memory
+        lives entirely in the returned state, never in the network — the
+        fused engine leaves the layer/neuron scratch untouched, the step
+        engine borrows it during the call and captures the result back —
+        so any number of concurrent streams share one resident network.
+
+        Parameters
+        ----------
+        chunk:
+            Spike array of shape ``(batch, T_chunk, n_input)``; ``T_chunk``
+            may vary call to call (0 is allowed and is a no-op).
+        state:
+            The :class:`~repro.core.engine.StreamState` returned by the
+            previous call (advanced in place and returned), or ``None`` to
+            open a new stream.
+        engine, precision:
+            Fix the stream's engine (``"fused"`` default / ``"step"``) and
+            dtype when opening it; on an existing state they must match
+            (the state representation is engine- and dtype-specific).
+        workspace:
+            Optional :class:`~repro.runtime.workspace.Workspace` the fused
+            engine checks chunk buffers out of; the returned outputs then
+            belong to the workspace's owner.  Ignored by ``engine="step"``.
+        lengths:
+            Optional ``(batch,)`` ints marking each row's valid prefix of
+            a padded chunk (the serving micro-batcher's gather format):
+            each row's state advances exactly ``lengths[i]`` steps and its
+            outputs beyond that are unspecified.
+        """
+        if state is None:
+            if engine is None:
+                engine = "fused"
+            resolved = resolve_precision(precision) or np.dtype(np.float64)
+        else:
+            if engine is not None and engine != state.engine:
+                raise ValueError(
+                    f"stream state carries engine={state.engine!r}, "
+                    f"cannot continue it with engine={engine!r}")
+            engine = state.engine
+            resolved = state.dtype
+            requested = resolve_precision(precision)
+            if requested is not None and requested != resolved:
+                raise ValueError(
+                    f"stream state carries dtype {resolved.name}, "
+                    f"cannot continue it with precision={precision!r}")
+        if engine not in ("fused", "step"):
+            raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
+        chunk = np.asarray(chunk, dtype=resolved)
+        if chunk.ndim != 3:
+            raise ShapeError(f"expected (batch, T, n_in), got {chunk.shape}")
+        if chunk.shape[2] != self.sizes[0]:
+            raise ShapeError(
+                f"expected {self.sizes[0]} input channels, got {chunk.shape[2]}"
+            )
+        batch = chunk.shape[0]
+        if state is None:
+            state = self.new_stream_state(batch, engine=engine, dtype=resolved)
+        else:
+            if not state.compatible_with(self):
+                raise ShapeError(
+                    f"stream state built for {'-'.join(map(str, state.sizes))} "
+                    f"does not fit {self!r}")
+            if state.batch != batch:
+                raise ShapeError(
+                    f"stream state carries {state.batch} streams, "
+                    f"got a chunk of {batch}")
+        if engine == "fused":
+            outputs = run_streaming(self, chunk, state, lengths=lengths,
+                                    ws=workspace)
+            return outputs, state
+        return self._run_stream_step(chunk, state, lengths), state
+
+    def _run_stream_step(self, chunk: np.ndarray,
+                         state: StreamState, lengths) -> np.ndarray:
+        """Step-engine streaming: install the carried state, advance the
+        per-step reference loop without resetting, capture it back."""
+        from .engine import _resolve_lengths
+
+        batch, steps, _ = chunk.shape
+        dtype = state.dtype
+        lengths, ends = _resolve_lengths(lengths, batch, steps)
+        outputs = np.zeros((batch, steps, self.sizes[-1]), dtype=dtype)
+        if steps == 0:
+            return outputs
+        # Install: ``step`` rebinds (never mutates) these arrays, so the
+        # state's own buffers are safe to hand over directly.
+        for layer, st in zip(self.layers, state.layers):
+            if layer.neuron_kind == "adaptive":
+                layer.k = st["k"]
+            else:
+                layer.k = np.zeros((batch, layer.n_in), dtype=dtype)
+            layer.neuron.load_stream_state(st)
+
+        for t in range(steps):
+            spikes = chunk[:, t, :]
+            for layer in self.layers:
+                spikes, _ = layer.step(spikes)
+            outputs[:, t, :] = spikes
+            if ends is not None:
+                rows = ends.get(t)
+                if rows is not None:
+                    for layer, st in zip(self.layers, state.layers):
+                        if layer.neuron_kind == "adaptive":
+                            st["k"][rows] = layer.k[rows]
+                        for key, live in layer.neuron.stream_state().items():
+                            st[key][rows] = live[rows]
+        if ends is None:
+            for layer, st in zip(self.layers, state.layers):
+                if layer.neuron_kind == "adaptive":
+                    np.copyto(st["k"], layer.k)
+                for key, live in layer.neuron.stream_state().items():
+                    np.copyto(st[key], live)
+        if lengths is None:
+            state.steps += steps
+        else:
+            state.steps += lengths
+        return outputs
 
     # -- parameters ------------------------------------------------------------
     @property

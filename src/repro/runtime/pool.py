@@ -43,6 +43,7 @@ next dispatch into a ``RuntimeError`` instead of a hang.
 
 from __future__ import annotations
 
+import atexit
 import collections
 import dataclasses
 import multiprocessing as mp
@@ -50,11 +51,28 @@ import os
 import pickle
 import time
 import traceback
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
 __all__ = ["WorkerPool", "WorkerError"]
+
+#: Pools that still own shared-memory segments.  An atexit hook closes
+#: them because ``__del__`` alone is not enough at interpreter shutdown:
+#: a frozen daemon thread blocked in a dispatch keeps its pool reachable
+#: forever, the segments are never unlinked, and the multiprocessing
+#: resource tracker prints a "leaked shared_memory objects" warning.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_pools() -> None:  # pragma: no cover - exercised in a
+    for pool in list(_LIVE_POOLS):  # subprocess by tests/unit/test_runtime.py
+        try:
+            pool.close()
+        except Exception:
+            pass
 
 
 class WorkerError(RuntimeError):
@@ -226,15 +244,32 @@ def _worker_main(spec: _PoolSpec, conn) -> None:
             if cmd == "stop":
                 break
             try:
-                conn.send(("ok", _handle(state, msg)))
+                reply = ("ok", _handle(state, msg))
             except Exception:
+                # Any failure inside the command (including a user task
+                # raising BrokenPipeError itself) is a worker error to
+                # report, not a transport failure.
+                reply = ("error", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except OSError:
+                raise  # reply pipe gone (master closed/vanished): exit below
+            except Exception:
+                # The reply itself would not pickle; report that instead.
                 conn.send(("error", traceback.format_exc()))
             state.prune_blocks()
-    except (EOFError, KeyboardInterrupt):  # master vanished / interrupt
+    except (EOFError, BrokenPipeError, ConnectionResetError, OSError,
+            KeyboardInterrupt):
+        # Master vanished (or closed our pipe mid-reply) / interrupt:
+        # normal shutdown paths, not worker errors — exit silently rather
+        # than spraying tracebacks over the master's stderr.
         pass
     finally:
         state.close()
-        conn.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
 
 
 def _handle(state: _WorkerState, msg: dict):
@@ -344,6 +379,7 @@ class WorkerPool:
         except Exception:
             self.close()
             raise
+        _LIVE_POOLS.add(self)
 
     # -- construction helpers ----------------------------------------------
     def _build_spec(self, network, loss) -> _PoolSpec:
@@ -730,22 +766,36 @@ class WorkerPool:
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and free every shared-memory block (idempotent)."""
+        """Stop the workers and free every shared-memory block.
+
+        Idempotent, and deliberately quiet: it is the path taken after
+        transport failures (dead/hung workers) and from ``__del__`` or the
+        atexit hook at interpreter shutdown, so every step tolerates
+        already-broken pipes and already-gone processes instead of
+        raising or warning (pinned by ``tests/unit/test_runtime.py``).
+        """
         if self._closed:
             return
         self._closed = True
+        _LIVE_POOLS.discard(self)
         for conn in self._conns:
             try:
                 conn.send({"cmd": "stop"})
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, ValueError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
+            try:
                 proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5)
+            except (OSError, ValueError, AssertionError):
+                pass  # pragma: no cover - interpreter teardown races
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
         for arena in self._arenas.values():
             arena.close()
         if self._weights_shm is not None:

@@ -13,8 +13,9 @@ produced inside BLAS/SciPy calls.
 Design rules that keep this safe:
 
 * A workspace is **single-threaded state** — one per trainer, one per pool
-  worker.  It is never shared across processes (each worker process builds
-  its own).
+  worker, one per model server (the serving tick's padded gather buffer
+  and transient batched stream state recycle through it).  It is never
+  shared across processes (each worker process builds its own).
 * ``release`` ignores arrays the workspace did not hand out, so callers may
   bulk-release a record's tensors without tracking which of them came from
   the arena (e.g. a membrane trace produced by a SciPy sparse product is

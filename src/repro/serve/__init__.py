@@ -1,0 +1,47 @@
+"""Streaming stateful inference and micro-batching model serving.
+
+This package turns the repo from an offline batch runner into a resident
+model server — the serving analogue of SpikeHard's always-on accelerator:
+a trained :class:`~repro.core.network.SpikingNetwork` stays loaded while
+live spike streams from many clients flow through it in chunks.
+
+The pieces, bottom-up:
+
+* :class:`~repro.core.engine.StreamState` (in :mod:`repro.core`) — the
+  per-stream carry state that makes chunked inference bitwise-equal to a
+  one-shot run;
+* :mod:`repro.serve.session` — a :class:`Session` owns one client's
+  stream state and bookkeeping on a served model;
+* :mod:`repro.serve.batcher` — the :class:`MicroBatcher` coalesces
+  pending chunks from many sessions into one fused batch per tick under
+  ``max_batch`` / ``max_wait_ms`` caps, FIFO-fair, with a bounded queue
+  that rejects (:class:`~repro.common.errors.CapacityError`) when full;
+* :mod:`repro.serve.server` — the :class:`ModelServer` front-end:
+  sessions, ticks (gather states -> one padded fused run -> scatter),
+  offline bulk evaluation (optionally sharded over a
+  :class:`~repro.runtime.pool.WorkerPool`);
+* :mod:`repro.serve.registry` — a versioned on-disk
+  :class:`ModelRegistry` of checkpoints the server cold-starts from;
+* :mod:`repro.serve.loadgen` — a synthetic open-loop arrival process and
+  latency/throughput accounting (``benchmarks/bench_serving.py`` /
+  ``make bench-serving``).
+
+See ``docs/serving.md`` for the architecture and measured numbers.
+"""
+
+from .batcher import MicroBatcher, StreamRequest, Ticket
+from .loadgen import ServingReport, open_loop
+from .registry import ModelRegistry
+from .server import ModelServer
+from .session import Session
+
+__all__ = [
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelServer",
+    "ServingReport",
+    "Session",
+    "StreamRequest",
+    "Ticket",
+    "open_loop",
+]

@@ -1,0 +1,145 @@
+"""Versioned on-disk model registry the server cold-starts from.
+
+A :class:`ModelRegistry` is a directory of named models, each a sequence
+of immutable checkpoint versions written with
+:func:`~repro.common.serialization.save_checkpoint`::
+
+    <root>/
+      shd-mlp/
+        v0001.npz  v0001.json
+        v0002.npz  v0002.json
+      quickstart/
+        v0001.npz  v0001.json
+
+``save`` allocates the next version, ``load`` rebuilds the network (and
+returns the metadata saved with it), ``list`` enumerates everything from
+the JSON sidecars alone (no array loading).  The format inherits the
+serialization module's safety property: no pickling, no executable
+content.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+
+from ..common.errors import SerializationError
+from ..common.serialization import load_checkpoint, load_json, save_checkpoint
+
+__all__ = ["ModelRegistry"]
+
+_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION = re.compile(r"^v(\d{4,})$")
+
+
+class ModelRegistry:
+    """A directory of versioned model checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created on first ``save``).
+    """
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    # -- paths ---------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME.match(name or ""):
+            raise SerializationError(
+                f"invalid model name {name!r}: use letters, digits, "
+                f"'.', '_', '-'")
+        return name
+
+    def path(self, name: str, version: str) -> str:
+        """The ``.npz`` path of one checkpoint (which need not exist)."""
+        self._check_name(name)
+        if not _VERSION.match(version):
+            raise SerializationError(
+                f"invalid version {version!r}: expected 'vNNNN'")
+        return os.path.join(self.root, name, version + ".npz")
+
+    # -- queries -------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Model names present in the registry, sorted."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+            and _NAME.match(entry)
+        )
+
+    def versions(self, name: str) -> list[str]:
+        """All versions of ``name``, oldest first (empty if unknown)."""
+        directory = os.path.join(self.root, self._check_name(name))
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for entry in os.listdir(directory):
+            stem, ext = os.path.splitext(entry)
+            if ext == ".npz" and _VERSION.match(stem):
+                found.append(stem)
+        return sorted(found, key=lambda v: int(v[1:]))
+
+    def latest(self, name: str) -> str | None:
+        """The newest version of ``name``, or ``None``."""
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def list(self, name: str | None = None) -> list[dict]:
+        """Describe every checkpoint (of one model, or of all models).
+
+        Reads only the JSON sidecars; each entry carries ``name``,
+        ``version``, ``path``, the architecture summary and the user
+        metadata saved with the checkpoint.
+        """
+        names = [self._check_name(name)] if name is not None else self.models()
+        entries = []
+        for model in names:
+            for version in self.versions(model):
+                npz = self.path(model, version)
+                sidecar = load_json(os.path.splitext(npz)[0] + ".json")
+                entries.append({
+                    "name": model,
+                    "version": version,
+                    "path": npz,
+                    "network": sidecar.get("network", {}),
+                    "meta": sidecar.get("meta", {}),
+                })
+        return entries
+
+    # -- save / load ---------------------------------------------------------
+    def save(self, name: str, network, meta: dict | None = None) -> str:
+        """Write ``network`` as the next version of ``name``; returns the
+        version id (``"v0001"``-style).
+
+        ``meta`` is user metadata stored in the sidecar (the registry adds
+        ``saved_unix``).
+        """
+        self._check_name(name)
+        latest = self.latest(name)
+        version = f"v{(int(latest[1:]) if latest else 0) + 1:04d}"
+        meta = dict(meta or {})
+        meta.setdefault("saved_unix", time.time())
+        save_checkpoint(self.path(name, version), network, meta=meta)
+        return version
+
+    def load(self, name: str, version: str | None = None):
+        """Rebuild ``(network, meta)`` from a checkpoint.
+
+        ``version=None`` loads the latest.
+        """
+        if version is None:
+            version = self.latest(name)
+            if version is None:
+                raise SerializationError(
+                    f"registry has no model {name!r} under {self.root} "
+                    f"(known: {self.models() or 'none'})")
+        return load_checkpoint(self.path(name, version))
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry({self.root!r}, models={self.models()})"

@@ -1,0 +1,283 @@
+"""The serving front-end: resident model, sessions, micro-batched ticks.
+
+A :class:`ModelServer` holds one resident
+:class:`~repro.core.network.SpikingNetwork` and any number of client
+:class:`~repro.serve.session.Session`\\ s.  Clients ``submit`` chunks of
+their live spike stream and receive a :class:`~repro.serve.batcher.Ticket`;
+the server's :meth:`~ModelServer.poll` runs a *tick* whenever the
+micro-batcher says one is due:
+
+1. **collect** — up to ``max_batch`` queued chunks, FIFO, one per session;
+2. **gather** — copy each session's batch-1 stream state into one batched
+   :class:`~repro.core.engine.StreamState` and the chunks into one padded
+   ``(B, T_max, n_in)`` workspace buffer (rows shorter than ``T_max`` are
+   zero-padded and tracked via ``lengths``);
+3. **run** — a single :meth:`~repro.core.network.SpikingNetwork.run_stream`
+   call advances all sessions at once;
+4. **scatter** — copy each advanced state row back to its session and
+   complete its ticket with the row's valid output slice.
+
+With the fused engine the gather/scatter is bitwise-transparent: a session
+receives exactly the spikes it would have received streaming alone,
+regardless of which other sessions shared its ticks (the CSR product
+computes rows independently — see ``docs/serving.md``).
+
+The server is single-threaded and clock-injected: ``poll``/``submit``
+accept an explicit ``now`` so schedulers, tests and the open-loop load
+generator (:mod:`repro.serve.loadgen`) can drive it deterministically; by
+default it reads ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..common.errors import ShapeError, StateError
+from ..core.engine import StreamState, resolve_precision
+from ..core.network import SpikingNetwork
+from ..core.trainer import run_in_batches
+from ..runtime.workspace import Workspace
+from .batcher import MicroBatcher, StreamRequest, Ticket
+from .session import Session
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Streaming inference server for one resident network.
+
+    Parameters
+    ----------
+    network:
+        The model to serve (weights are read at every tick, so hot-swapping
+        weights in place between ticks is safe).
+    engine:
+        ``"fused"`` (default; bitwise batching-transparency with scipy) or
+        ``"step"`` (reference loop; correct but slower, and batching
+        transparency only to BLAS rounding).
+    precision:
+        ``"float64"`` (default) or ``"float32"`` for stream state and
+        outputs.
+    max_batch, max_wait_ms, queue_limit:
+        Scheduler knobs, passed to :class:`~repro.serve.batcher.
+        MicroBatcher`: chunks per tick, latency cap, admission bound.
+    clock:
+        0-arg callable returning seconds; default ``time.monotonic``.
+    """
+
+    def __init__(self, network: SpikingNetwork, *, engine: str = "fused",
+                 precision: str = "float64", max_batch: int = 8,
+                 max_wait_ms: float = 2.0, queue_limit: int = 64,
+                 clock=time.monotonic):
+        if engine not in ("fused", "step"):
+            raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
+        self.network = network
+        self.engine = engine
+        self.dtype = resolve_precision(precision) or np.dtype(np.float64)
+        self.batcher = MicroBatcher(max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms,
+                                    queue_limit=queue_limit)
+        self.clock = clock
+        self.model_name: str | None = None
+        self.model_version: str | None = None
+        self.model_meta: dict = {}
+        self._workspace = Workspace()
+        self._sessions: dict[str, Session] = {}
+        self._session_seq = 0
+        self._request_seq = 0
+        self.stats = {
+            "submitted": 0, "rejected": 0, "completed": 0, "ticks": 0,
+            "steps": 0, "max_tick_batch": 0, "closed_sessions": 0,
+        }
+
+    @classmethod
+    def from_registry(cls, registry, name: str, version: str | None = None,
+                      **kwargs) -> "ModelServer":
+        """Cold-start a server from a
+        :class:`~repro.serve.registry.ModelRegistry` checkpoint."""
+        network, meta = registry.load(name, version)
+        server = cls(network, **kwargs)
+        server.model_name = name
+        server.model_version = version or registry.latest(name)
+        server.model_meta = meta
+        return server
+
+    # -- sessions ------------------------------------------------------------
+    def open_session(self, now: float | None = None) -> str:
+        """Create a fresh stream; returns its session id."""
+        now = self.clock() if now is None else now
+        self._session_seq += 1
+        session_id = f"s{self._session_seq:06d}"
+        state = StreamState.for_network(self.network, 1, engine=self.engine,
+                                        dtype=self.dtype)
+        self._sessions[session_id] = Session(session_id, state, now)
+        return session_id
+
+    def session(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise StateError(f"unknown or closed session {session_id!r}")
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        """Drop a session's state.  Its queued chunks (if any) still
+        complete — the session object lives until they drain."""
+        self.session(session_id)
+        del self._sessions[session_id]
+        self.stats["closed_sessions"] += 1
+
+    @property
+    def sessions(self) -> int:
+        """Open session count."""
+        return len(self._sessions)
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, session_id: str, chunk: np.ndarray,
+               now: float | None = None) -> Ticket:
+        """Queue one ``(T_chunk, n_in)`` chunk of a session's stream.
+
+        Returns a :class:`~repro.serve.batcher.Ticket` that a later
+        :meth:`poll` completes.  Raises
+        :class:`~repro.common.errors.CapacityError` when the admission
+        queue is full (the chunk is not queued; nothing changes).
+        """
+        now = self.clock() if now is None else now
+        session = self.session(session_id)
+        chunk = np.asarray(chunk, dtype=self.dtype)
+        if chunk.ndim != 2 or chunk.shape[1] != self.network.sizes[0]:
+            raise ShapeError(
+                f"expected a (T_chunk, {self.network.sizes[0]}) chunk, "
+                f"got {chunk.shape}")
+        if chunk.shape[0] == 0:
+            raise ShapeError("cannot submit an empty chunk")
+        ticket = Ticket(session_id, now)
+        request = StreamRequest(self._request_seq, session, chunk, ticket)
+        try:
+            self.batcher.submit(request)
+        except Exception:
+            self.stats["rejected"] += 1
+            raise
+        self._request_seq += 1
+        self.stats["submitted"] += 1
+        return ticket
+
+    # -- scheduling ----------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Chunks queued and not yet served."""
+        return self.batcher.pending
+
+    def ready(self, now: float | None = None) -> bool:
+        """Whether :meth:`poll` would run a tick at time ``now``."""
+        return self.batcher.ready(self.clock() if now is None else now)
+
+    def next_deadline(self) -> float | None:
+        """When the queued work becomes due regardless of occupancy."""
+        return self.batcher.next_deadline()
+
+    def poll(self, now: float | None = None) -> int:
+        """Run one tick if due; returns the number of completed chunks."""
+        now = self.clock() if now is None else now
+        if not self.batcher.ready(now):
+            return 0
+        return self._run_tick(now)
+
+    def flush(self, now: float | None = None) -> int:
+        """Drain the whole queue (ignoring ``max_wait_ms``); returns the
+        number of completed chunks."""
+        completed = 0
+        while self.batcher.pending:
+            completed += self._run_tick(self.clock() if now is None else now)
+        return completed
+
+    def infer(self, session_id: str, chunk: np.ndarray,
+              now: float | None = None) -> np.ndarray:
+        """Convenience synchronous path: submit one chunk and drain the
+        queue; returns the chunk's ``(T_chunk, n_out)`` output spikes.
+
+        Note this flushes *all* queued work (other sessions' chunks
+        complete too) — it is the single-client call, not a fast lane.
+        """
+        ticket = self.submit(session_id, chunk, now=now)
+        self.flush(now=now)
+        return ticket.outputs
+
+    # -- the tick ------------------------------------------------------------
+    def _run_tick(self, now: float) -> int:
+        requests = self.batcher.collect()
+        if not requests:
+            return 0
+        ws = self._workspace
+        n_in = self.network.sizes[0]
+        count = len(requests)
+        lengths = np.fromiter((r.steps for r in requests), np.int64, count)
+        t_max = int(lengths.max())
+        xs = ws.empty((count, t_max, n_in), self.dtype)
+        for row, request in enumerate(requests):
+            steps = request.steps
+            xs[row, :steps] = request.chunk
+            if steps < t_max:
+                xs[row, steps:] = 0.0
+        # The gather state is tick-transient, so its arrays come from (and
+        # return to) the workspace: steady-state serving with repeating
+        # tick shapes allocates nothing here.
+        batched = StreamState.for_network(self.network, count,
+                                          engine=self.engine,
+                                          dtype=self.dtype, ws=ws)
+        for row, request in enumerate(requests):
+            batched.copy_row(row, request.session.state, 0)
+        outputs, _ = self.network.run_stream(xs, batched, lengths=lengths,
+                                             workspace=ws)
+        for row, request in enumerate(requests):
+            request.session.state.copy_row(0, batched, row)
+            request.session.last_active = now
+            request.session.chunks += 1
+            request.ticket.complete(outputs[row, :request.steps].copy(), now)
+        batched.release_to(ws)
+        ws.release(xs, outputs)
+        self.stats["completed"] += count
+        self.stats["ticks"] += 1
+        self.stats["steps"] += int(lengths.sum())
+        self.stats["max_tick_batch"] = max(self.stats["max_tick_batch"],
+                                           count)
+        return count
+
+    # -- offline bulk --------------------------------------------------------
+    def run_batch(self, inputs: np.ndarray, batch_size: int = 64,
+                  workers: int = 0, pool=None) -> np.ndarray:
+        """Stateless bulk inference on the resident model (no sessions).
+
+        Delegates to :func:`~repro.core.trainer.run_in_batches`; pass
+        ``workers >= 1`` (or an existing
+        :class:`~repro.runtime.pool.WorkerPool` built for this network) to
+        shard large evaluation sets across processes.
+        """
+        return run_in_batches(self.network, inputs, batch_size,
+                              engine=self.engine, precision=self.dtype,
+                              workers=workers, pool=pool,
+                              workspace=None if (workers or pool) else
+                              self._workspace)
+    # run_in_batches releases its chunk buffers after concatenation, so
+    # handing it the server workspace is safe on the serial path.
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Drop all sessions and pooled buffers (idempotent)."""
+        self._sessions.clear()
+        self._workspace.reclaim()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        arch = "-".join(str(s) for s in self.network.sizes)
+        model = f", model={self.model_name}:{self.model_version}" \
+            if self.model_name else ""
+        return (f"ModelServer({arch}, engine={self.engine!r}, "
+                f"sessions={len(self._sessions)}, "
+                f"pending={self.batcher.pending}{model})")

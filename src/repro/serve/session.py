@@ -1,0 +1,53 @@
+"""Per-client stream sessions on a served model.
+
+A :class:`Session` is the unit of statefulness in the serving layer: one
+client's live spike stream, carried by a batch-1
+:class:`~repro.core.engine.StreamState`.  Sessions are created and owned
+by a :class:`~repro.serve.server.ModelServer`; the micro-batcher gathers
+many sessions' states into one batched state per tick and scatters the
+advanced rows back, so a session never notices whose chunks shared its
+batch (the gather/scatter is bitwise-transparent for the fused engine —
+see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+from ..core.engine import StreamState
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client's resident stream on a served model.
+
+    Attributes
+    ----------
+    session_id:
+        Server-assigned identifier (``"s000001"``-style).
+    state:
+        The batch-1 :class:`~repro.core.engine.StreamState` carrying the
+        stream across chunks.
+    created_at, last_active:
+        Server-clock timestamps of creation and the last completed chunk.
+    chunks:
+        Number of chunks completed for this session.
+    """
+
+    __slots__ = ("session_id", "state", "created_at", "last_active",
+                 "chunks")
+
+    def __init__(self, session_id: str, state: StreamState, now: float):
+        self.session_id = session_id
+        self.state = state
+        self.created_at = now
+        self.last_active = now
+        self.chunks = 0
+
+    @property
+    def steps(self) -> int:
+        """Total time steps this stream has consumed."""
+        return int(self.state.steps[0])
+
+    def __repr__(self) -> str:
+        return (f"Session({self.session_id}, chunks={self.chunks}, "
+                f"steps={self.steps})")

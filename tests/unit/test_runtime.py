@@ -246,6 +246,10 @@ def _fail_on_two(value):
     return 10 * value
 
 
+def _raise_broken_pipe(value):
+    raise BrokenPipeError("user-task pipe error")
+
+
 def _echo(value):
     return value
 
@@ -430,6 +434,17 @@ class TestWorkerPool:
             with pytest.raises(RuntimeError, match="worker 0 raised"):
                 pool.run_sharded(np.zeros((4, 5, 99)), batch_size=4)
 
+    def test_task_raising_broken_pipe_is_a_worker_error(self):
+        # A user task raising BrokenPipeError must be reported like any
+        # other task exception — not mistaken for a dead reply pipe
+        # (which would silently kill the worker and degrade the pool).
+        from repro.runtime import WorkerError
+
+        with WorkerPool(workers=1) as pool:
+            with pytest.raises(WorkerError, match="user-task pipe error"):
+                pool.map(_raise_broken_pipe, [1])
+            assert pool.map(_double, [7]) == [14]
+
     def test_pool_survives_worker_error_without_desync(self):
         # A failed dispatch must drain the in-flight replies; otherwise a
         # later dispatch reads the previous dispatch's replies as its own
@@ -467,6 +482,59 @@ class TestWorkerPool:
         pool.close()
         with pytest.raises(RuntimeError, match="closed"):
             pool.map(_double, [1])
+
+    def test_close_after_transport_failure_is_quiet(self):
+        # After a dead worker turns a dispatch into a transport failure,
+        # close() must neither raise nor warn — it is the path __del__
+        # and the atexit hook take, where any exception becomes stderr
+        # noise the user cannot act on.
+        import warnings
+
+        pool = WorkerPool(workers=2)
+        pool._procs[0].kill()
+        pool._procs[0].join()
+        # Depending on timing the dead worker surfaces as a broken pipe
+        # on send or a "died" RuntimeError while awaiting the reply.
+        with pytest.raises((RuntimeError, OSError)):
+            pool.map(_double, [1, 2, 3, 4])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pool.close()
+            pool.close()
+        del pool  # __del__ on the closed pool must also stay silent
+
+    def test_interpreter_exit_with_busy_pool_is_quiet(self):
+        # A daemon thread frozen mid-dispatch keeps the pool referenced
+        # at interpreter exit, so __del__ alone never runs; the atexit
+        # hook must still close it, or the resource tracker prints a
+        # "leaked shared_memory objects" warning and workers spray
+        # BrokenPipeError tracebacks.
+        import subprocess
+        import sys
+        import textwrap
+
+        code = textwrap.dedent("""
+            import threading, time
+            import numpy as np
+            from repro import SpikingNetwork, WorkerPool
+
+            net = SpikingNetwork((10, 8, 3), rng=0)
+            pool = WorkerPool(net, workers=2)
+            thread = threading.Thread(
+                target=lambda: pool.map(time.sleep, [0.4] * 4))
+            thread.daemon = True
+            thread.start()
+            time.sleep(0.1)
+            print("exiting busy")   # exit with the dispatch in flight
+        """)
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            timeout=120,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "exiting busy" in result.stdout
+        assert result.stderr.strip() == "", result.stderr
 
 
 # ---------------------------------------------------------------------------

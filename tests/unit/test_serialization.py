@@ -7,8 +7,10 @@ from repro.common.asciiplot import line_plot, raster_plot, sparkline
 from repro.common.errors import SerializationError
 from repro.common.serialization import (
     load_arrays,
+    load_checkpoint,
     load_json,
     save_arrays,
+    save_checkpoint,
     save_json,
 )
 
@@ -45,6 +47,45 @@ class TestArrayArtifacts:
             os.remove(sidecar)
         _, metadata = load_arrays(path)
         assert metadata == {}
+
+
+class TestCheckpoints:
+    def _net(self, kind="adaptive"):
+        from repro.core import NeuronParameters, SpikingNetwork
+
+        params = NeuronParameters(tau=3.0, tau_r=5.0, v_th=0.8, theta=1.2)
+        return SpikingNetwork((6, 5, 3), params=params, neuron_kind=kind,
+                              rng=7)
+
+    def test_roundtrip_restores_architecture_and_weights(self, tmp_path):
+        network = self._net()
+        path = save_checkpoint(str(tmp_path / "ckpt"), network,
+                               meta={"accuracy": 0.9})
+        assert path.endswith(".npz")
+        restored, meta = load_checkpoint(path)
+        assert meta["accuracy"] == 0.9
+        assert restored.sizes == network.sizes
+        assert restored.neuron_kind == network.neuron_kind
+        assert restored.params == network.params
+        for ours, theirs in zip(network.weights, restored.weights):
+            np.testing.assert_array_equal(ours, theirs)
+
+    def test_roundtrip_preserves_behavior_bitwise(self, tmp_path):
+        network = self._net("hard_reset")
+        for layer in network.layers:
+            layer.weight *= 6.0
+        restored, _ = load_checkpoint(
+            save_checkpoint(str(tmp_path / "hr"), network))
+        x = (np.random.default_rng(0).random((3, 8, 6)) < 0.3).astype(float)
+        expect, _ = network.run(x)
+        got, _ = restored.run(x)
+        np.testing.assert_array_equal(expect, got)
+
+    def test_non_checkpoint_artifact_rejected(self, tmp_path):
+        path = str(tmp_path / "plain")
+        save_arrays(path, {"w": np.ones(3)}, metadata={"not": "a checkpoint"})
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)
 
 
 class TestJson:

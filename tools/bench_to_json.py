@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Machine-readable throughput benchmark: ``make bench-json``.
+"""Machine-readable benchmarks: ``make bench-json`` / ``make bench-serving``.
 
-Times the repo's hot paths — forward, backward, the full training step and
-the Fig. 8 variation sweep — for the serial fused engine and for the
-parallel runtime at each requested worker count, then writes one JSON
-document (default ``BENCH_throughput.json``) so the performance trajectory
-of the project is diffable from PR to PR.
+Two modes sharing one CLI:
+
+* default — times the repo's hot paths (forward, backward, the full
+  training step and the Fig. 8 variation sweep) for the serial fused
+  engine and for the parallel runtime at each requested worker count,
+  then writes ``BENCH_throughput.json`` so the performance trajectory of
+  the project is diffable from PR to PR;
+* ``--serving`` — drives the open-loop serving benchmark
+  (``benchmarks/bench_serving.py``: Poisson arrivals through the
+  micro-batching :class:`repro.serve.ModelServer`) and writes
+  ``BENCH_serving.json`` with throughput_rps and p50/p95/p99 latency per
+  offered load.
 
 The shapes match ``benchmarks/bench_throughput.py`` and
 ``docs/performance.md``: batch 32 (forward/backward) and batch 64
@@ -16,6 +23,8 @@ Usage::
 
     PYTHONPATH=src python tools/bench_to_json.py \
         [--out BENCH_throughput.json] [--rounds 10] [--workers 0,1,2,4]
+    PYTHONPATH=src python tools/bench_to_json.py --serving \
+        [--out BENCH_serving.json]
 
 Worker counts beyond the machine's cores are still measured (they quantify
 oversubscription overhead); the JSON records ``cpu_count`` so readers can
@@ -155,25 +164,54 @@ def bench_variation_sweep(rounds: int, workers: int) -> dict:
         return _time(lambda: point(pool), rounds)
 
 
+def _environment_meta() -> dict:
+    return {
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+                     .isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def serving_main(out_path: str) -> int:
+    """``--serving`` mode: the open-loop serving grid -> BENCH_serving.json."""
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                    "..", "benchmarks"))
+    import bench_serving
+
+    report = {
+        "meta": {**_environment_meta(), "workload": bench_serving.serving_meta()},
+        "serving": bench_serving.run_serving_bench(),
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_throughput.json")
+    parser.add_argument("--out", default=None)
     parser.add_argument("--rounds", type=int, default=10)
     parser.add_argument("--workers", default="0,1,2,4",
                         help="comma-separated worker counts for the "
                              "parallel sections (0 = serial)")
+    parser.add_argument("--serving", action="store_true",
+                        help="run the open-loop serving benchmark instead "
+                             "(writes BENCH_serving.json by default)")
     args = parser.parse_args(argv)
+    if args.serving:
+        return serving_main(args.out or "BENCH_serving.json")
+    out_path = args.out or "BENCH_throughput.json"
     worker_counts = [int(w) for w in args.workers.split(",") if w != ""]
     rounds = args.rounds
 
     report = {
         "meta": {
-            "generated": datetime.datetime.now(datetime.timezone.utc)
-                         .isoformat(timespec="seconds"),
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+            **_environment_meta(),
             "shapes": {
                 "sizes": list(SIZES),
                 "steps": STEPS,
@@ -200,10 +238,10 @@ def main(argv=None) -> int:
         print(f"train step [{label}]: "
               f"{report['train_step'][label]['mean_ms']} ms mean")
 
-    with open(args.out, "w") as handle:
+    with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out_path}")
     return 0
 
 
