@@ -7,6 +7,14 @@ and reports the serving metrics the offline benchmarks cannot measure:
 **throughput_rps** and **p50/p95/p99 arrival-to-answer latency** per
 offered load.
 
+Configurations cover the ideal model (both precisions) *and* the
+hardware realization side by side: ``hardware_float64`` serves a
+4-bit/10%-variation crossbar mapping of the same network through the
+engine's weight-override hook (same kernels — the cost delta is the
+honest price of hardware-in-the-loop serving, expected ~zero), and
+``shadow_float64`` runs ideal + hardware on every stream (expected ~2x
+tick compute) while recording the mean per-chunk output divergence.
+
 Three load points per engine configuration:
 
 * ``light``  — well under capacity: latency is dominated by the
@@ -21,8 +29,10 @@ Run standalone (prints a table)::
     PYTHONPATH=src python benchmarks/bench_serving.py
 
 or via ``make bench-serving`` / ``tools/bench_to_json.py --serving`` to
-write ``BENCH_serving.json``.  As a pytest file it runs a reduced smoke
-scenario only.
+write ``BENCH_serving.json``.  Named explicitly to pytest
+(``pytest benchmarks/bench_serving.py``) it runs reduced smoke scenarios
+only; the tier-1 hardware/shadow serving coverage lives in
+``tests/unit/test_serve.py``.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.common.benchcfg import BENCH_SIZES, BENCH_SPIKE_DENSITY, bench_network
+from repro.hardware import HardwareProfile
 from repro.serve import ModelServer
 from repro.serve.loadgen import open_loop
 
@@ -45,10 +56,20 @@ SCENARIOS = [
     {"id": "overload", "rate_rps": 20000.0, "requests": 1200},
 ]
 
-#: Server configurations measured per scenario.
+#: Hardware realization served by the hardware-backed configurations
+#: (Fig. 8's 4-bit column at 10 % process variation).
+HW_PROFILE = {"bits": 4, "variation": 0.1, "seed": 7}
+
+#: Server configurations measured per scenario: the ideal model at both
+#: precisions, the crossbar realization, and the shadow (ideal + hardware
+#: per stream) canary.
 CONFIGS = [
     {"id": "fused_float64", "engine": "fused", "precision": "float64"},
     {"id": "fused_float32", "engine": "fused", "precision": "float32"},
+    {"id": "hardware_float64", "engine": "fused", "precision": "float64",
+     "hardware": HW_PROFILE},
+    {"id": "shadow_float64", "engine": "fused", "precision": "float64",
+     "hardware": HW_PROFILE, "shadow": True},
 ]
 
 SESSIONS = 32
@@ -61,10 +82,15 @@ QUEUE_LIMIT = 128
 def serve_scenario(config: dict, scenario: dict, sessions: int = SESSIONS,
                    chunk_steps: int = CHUNK_STEPS) -> dict:
     """One (server config, load point) measurement; returns the report dict."""
+    network = bench_network()
+    hardware = None
+    if config.get("hardware"):
+        hardware = HardwareProfile.create(**config["hardware"]).build(network)
     server = ModelServer(
-        bench_network(), engine=config["engine"],
+        network, engine=config["engine"],
         precision=config["precision"], max_batch=MAX_BATCH,
         max_wait_ms=MAX_WAIT_MS, queue_limit=QUEUE_LIMIT,
+        hardware=hardware, shadow=config.get("shadow", False),
     )
     try:
         report = open_loop(
@@ -93,10 +119,17 @@ def run_serving_bench(scenarios=None, configs=None) -> dict:
 
 def _render_row(row: dict) -> str:
     lat = row["latency_ms"]
+
+    def ms(key: str) -> str:
+        # None when nothing completed (total rejection) — keep printable.
+        return "    n/a   " if lat[key] is None else f"{lat[key]:7.2f} ms"
+
+    shadow = (f"  div {row['divergence']:.4f}"
+              if row.get("divergence") is not None else "")
     return (f"offered {row['offered_rps']:7.0f} rps  served "
             f"{row['throughput_rps']:7.0f} rps  rejected {row['rejected']:4d}  "
-            f"batch {row['mean_batch']:5.2f}  p50 {lat['p50']:7.2f} ms  "
-            f"p95 {lat['p95']:7.2f} ms  p99 {lat['p99']:7.2f} ms")
+            f"batch {row['mean_batch']:5.2f}  p50 {ms('p50')}  "
+            f"p95 {ms('p95')}  p99 {ms('p99')}{shadow}")
 
 
 def serving_meta() -> dict:
@@ -108,6 +141,7 @@ def serving_meta() -> dict:
         "max_wait_ms": MAX_WAIT_MS,
         "queue_limit": QUEUE_LIMIT,
         "spike_density": BENCH_SPIKE_DENSITY,
+        "hardware_profile": dict(HW_PROFILE),
         "arrivals": "poisson open-loop, virtual arrival clock + measured "
                     "tick compute (see repro/serve/loadgen.py)",
     }
@@ -125,6 +159,22 @@ def test_serving_smoke():
     assert row["throughput_rps"] > 0
     for key in ("p50", "p95", "p99"):
         assert row["latency_ms"][key] >= 0
+
+
+def test_hardware_serving_smoke():
+    """The hardware and shadow configs run, and shadow reports a
+    divergence number."""
+    configs = {config["id"]: config for config in CONFIGS}
+    hw = serve_scenario(configs["hardware_float64"],
+                        {"id": "smoke", "rate_rps": 500.0, "requests": 25},
+                        sessions=8)
+    assert hw["completed"] + hw["rejected"] == 25
+    assert hw["divergence"] is None          # nothing to diff against
+    shadow = serve_scenario(configs["shadow_float64"],
+                            {"id": "smoke", "rate_rps": 500.0,
+                             "requests": 25}, sessions=8)
+    assert shadow["completed"] + shadow["rejected"] == 25
+    assert 0.0 <= shadow["divergence"] <= 1.0
 
 
 def main() -> int:

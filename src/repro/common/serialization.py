@@ -9,8 +9,11 @@ On top of the raw array format sit **model checkpoints**
 :class:`~repro.core.network.SpikingNetwork`'s ``state_dict`` *plus* the
 architecture needed to rebuild it (layer sizes, neuron kind, neuron
 parameters), so a trained model round-trips from disk without the caller
-reconstructing the network by hand.  The serving model registry
-(:class:`repro.serve.ModelRegistry`) versions these checkpoints.
+reconstructing the network by hand, and **hardware profiles**
+(:func:`save_hardware_profile` / :func:`load_hardware_profile`): the
+quantization + device/variation recipe that maps a checkpoint onto
+crossbars, as a single JSON file.  The serving model registry
+(:class:`repro.serve.ModelRegistry`) versions both, side by side.
 
 The format is intentionally dumb: no pickling, no executable content — a
 model file from an untrusted source can at worst contain wrong numbers.
@@ -33,10 +36,15 @@ __all__ = [
     "load_json",
     "save_checkpoint",
     "load_checkpoint",
+    "save_hardware_profile",
+    "load_hardware_profile",
 ]
 
 #: Tag written into every checkpoint sidecar; bumped on layout changes.
 CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
+#: Tag written into every hardware-profile file; bumped on layout changes.
+HWPROFILE_FORMAT = "repro-hwprofile-v1"
 
 
 def save_arrays(path: str, arrays: Mapping[str, np.ndarray],
@@ -153,6 +161,40 @@ def load_checkpoint(path: str):
                              neuron_kind=spec["neuron_kind"], rng=0)
     network.load_state_dict(arrays)
     return network, metadata.get("meta", {})
+
+
+def save_hardware_profile(path: str, profile, meta: dict | None = None) -> str:
+    """Save a :class:`~repro.hardware.mapped_network.HardwareProfile`.
+
+    A profile is pure configuration (device model + quantization + seed),
+    so the artifact is a single JSON file — same safety property as the
+    checkpoint format: no pickling, no executable content.  ``meta`` is
+    user metadata stored under the ``"meta"`` key.
+
+    Returns the path written (``.json`` appended if missing).
+    """
+    target = path if path.endswith(".json") else path + ".json"
+    save_json(target, {
+        "format": HWPROFILE_FORMAT,
+        "profile": profile.to_dict(),
+        "meta": meta or {},
+    })
+    return target
+
+
+def load_hardware_profile(path: str):
+    """Rebuild ``(profile, meta)`` saved by :func:`save_hardware_profile`."""
+    from ..hardware.mapped_network import HardwareProfile  # lazy: common
+    # must not depend on hardware at import
+
+    target = path if path.endswith(".json") else path + ".json"
+    payload = load_json(target)
+    if payload.get("format") != HWPROFILE_FORMAT or "profile" not in payload:
+        raise SerializationError(
+            f"{target}: not a {HWPROFILE_FORMAT} hardware profile (write "
+            f"one with save_hardware_profile)")
+    return (HardwareProfile.from_dict(payload["profile"]),
+            payload.get("meta", {}))
 
 
 def _sidecar_path(npz_path: str) -> str:

@@ -672,7 +672,7 @@ def _resolve_lengths(lengths, batch: int, steps: int):
 
 
 def run_streaming(network, chunk: np.ndarray, state: StreamState,
-                  lengths=None, ws=None) -> np.ndarray:
+                  lengths=None, ws=None, weights=None) -> np.ndarray:
     """Advance a fused-engine stream by one chunk; returns output spikes.
 
     ``chunk`` is a validated ``(batch, T_chunk, n_in)`` array in the
@@ -684,6 +684,14 @@ def run_streaming(network, chunk: np.ndarray, state: StreamState,
     state is captured at their own final valid step, so a padded batched
     run leaves every stream exactly where its own data ended.  Output
     values beyond a row's length are unspecified.
+
+    ``weights`` (optional, one ``(n_out, n_in)`` array per layer)
+    substitutes the crossbar product's weight matrices without touching
+    the network's own parameters.  This is the hardware-in-the-loop hook:
+    :meth:`~repro.hardware.mapped_network.HardwareMappedNetwork.run_stream`
+    streams the resident *software* network with the crossbars' achieved
+    (quantized + noisy) weights — only the weight values differ, the
+    dynamics are byte-for-byte the same code path.
 
     Every crossbar product uses the CSR spike product unconditionally
     (:func:`_as_csr_always`): CSR output rows are computed independently
@@ -697,16 +705,21 @@ def run_streaming(network, chunk: np.ndarray, state: StreamState,
     """
     batch, steps, _ = chunk.shape
     lengths, ends = _resolve_lengths(lengths, batch, steps)
+    if weights is not None and len(weights) != len(network.layers):
+        raise ShapeError(
+            f"expected {len(network.layers)} weight overrides, "
+            f"got {len(weights)}")
     if steps == 0:
         return np.zeros((batch, 0, network.sizes[-1]), dtype=state.dtype)
     x = chunk
-    for layer, st in zip(network.layers, state.layers):
+    for index, (layer, st) in enumerate(zip(network.layers, state.layers)):
+        weight = None if weights is None else weights[index]
         if layer.neuron_kind == "adaptive":
             spikes = _stream_adaptive_forward(layer, x, st, lengths, ends,
-                                              ws)
+                                              ws, weight)
         else:
             spikes = _stream_hard_reset_forward(layer, x, st, lengths,
-                                                ends, ws)
+                                                ends, ws, weight)
         if ws is not None and x is not chunk:
             ws.release(x)
         x = spikes
@@ -717,15 +730,26 @@ def run_streaming(network, chunk: np.ndarray, state: StreamState,
     return x
 
 
-def _stream_gv(layer, xs, ws, gain: float = 1.0) -> np.ndarray:
-    """The chunk's crossbar drive via the always-CSR product."""
+def _stream_gv(layer, xs, ws, gain: float = 1.0,
+               weight: np.ndarray | None = None) -> np.ndarray:
+    """The chunk's crossbar drive via the always-CSR product.
+
+    ``weight`` substitutes the layer's weight matrix (the hardware
+    override of :func:`run_streaming`); shape must match.
+    """
+    if weight is None:
+        weight = layer.weight
+    elif weight.shape != layer.weight.shape:
+        raise ShapeError(
+            f"{layer.name}: weight override shape {weight.shape} != "
+            f"{layer.weight.shape}")
     batch, steps, n_in = xs.shape
     flat_x = xs.reshape(batch * steps, n_in)
-    return _layer_gv(layer.weight, xs, xs.dtype,
+    return _layer_gv(weight, xs, xs.dtype,
                      _as_csr_always(flat_x, ws), ws, gain=gain)
 
 
-def _stream_adaptive_forward(layer, xs, st, lengths, ends, ws):
+def _stream_adaptive_forward(layer, xs, st, lengths, ends, ws, weight=None):
     """One chunk of an adaptive layer, carrying ``{g, h, o}`` across calls.
 
     Op-for-op the same sequence as :func:`_fused_adaptive_forward` — the
@@ -742,7 +766,7 @@ def _stream_adaptive_forward(layer, xs, st, lengths, ends, ws):
     v_th = neuron.params.v_th
     beta = neuron.beta_r
 
-    gv = _stream_gv(layer, xs, ws)
+    gv = _stream_gv(layer, xs, ws, weight=weight)
     exp_scan(gv, layer.alpha, out=gv, carry=st["g"])
     # The carry for the next chunk is the *scanned drive* at each row's
     # final valid step — captured before the threshold loop rewrites
@@ -786,7 +810,8 @@ def _stream_adaptive_forward(layer, xs, st, lengths, ends, ws):
     return spikes
 
 
-def _stream_hard_reset_forward(layer, xs, st, lengths, ends, ws):
+def _stream_hard_reset_forward(layer, xs, st, lengths, ends, ws,
+                               weight=None):
     """One chunk of a hard-reset layer, carrying ``{v}`` across calls."""
     dtype = xs.dtype
     batch, steps, _ = xs.shape
@@ -795,7 +820,8 @@ def _stream_hard_reset_forward(layer, xs, st, lengths, ends, ws):
     alpha = neuron.alpha
     v_th = neuron.params.v_th
 
-    gv = _stream_gv(layer, xs, ws, gain=float(neuron.input_gain))
+    gv = _stream_gv(layer, xs, ws, gain=float(neuron.input_gain),
+                    weight=weight)
     spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
     v_post = st["v"]
     scratch = _ws_empty(ws, (batch, n_out), dtype)

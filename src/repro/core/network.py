@@ -230,7 +230,7 @@ class SpikingNetwork:
 
     def run_stream(self, chunk: np.ndarray, state: StreamState | None = None,
                    engine: str | None = None, precision: str | None = None,
-                   workspace=None, lengths=None
+                   workspace=None, lengths=None, weights=None
                    ) -> tuple[np.ndarray, StreamState]:
         """Consume one chunk of a live spike stream; returns
         ``(outputs, state)``.
@@ -267,6 +267,14 @@ class SpikingNetwork:
             a padded chunk (the serving micro-batcher's gather format):
             each row's state advances exactly ``lengths[i]`` steps and its
             outputs beyond that are unspecified.
+        weights:
+            Optional per-layer weight overrides (one ``(n_out, n_in)``
+            array per layer) substituting the crossbar product's matrices
+            for this chunk only — the network's own parameters are
+            untouched.  Hardware-in-the-loop serving streams the resident
+            software network with the crossbars' achieved weights this
+            way (see :class:`~repro.hardware.mapped_network.
+            HardwareMappedNetwork.run_stream`).  Fused engine only.
         """
         if state is None:
             if engine is None:
@@ -307,8 +315,12 @@ class SpikingNetwork:
                     f"got a chunk of {batch}")
         if engine == "fused":
             outputs = run_streaming(self, chunk, state, lengths=lengths,
-                                    ws=workspace)
+                                    ws=workspace, weights=weights)
             return outputs, state
+        if weights is not None:
+            raise ValueError(
+                "weight overrides are a fused-engine feature (the step "
+                "path reads layer.weight directly)")
         return self._run_stream_step(chunk, state, lengths), state
 
     def _run_stream_step(self, chunk: np.ndarray,

@@ -6,6 +6,8 @@ from .crossbar import DifferentialCrossbar
 from .devices import RRAMCellArray, RRAMDeviceConfig
 from .mapped_network import (
     HardwareMappedNetwork,
+    HardwareProfile,
+    HardwareStreamState,
     accuracy_under_variation,
     seed_accuracy,
 )
@@ -36,6 +38,8 @@ __all__ = [
     "RRAMCellArray",
     "RRAMDeviceConfig",
     "HardwareMappedNetwork",
+    "HardwareProfile",
+    "HardwareStreamState",
     "accuracy_under_variation",
     "seed_accuracy",
     "NeuronCircuitConfig",

@@ -98,16 +98,19 @@ class DifferentialCrossbar:
         self.array_plus.program(g_plus)
         self.array_minus.program(g_minus)
 
-    def _differential_read(self) -> np.ndarray:
+    def _differential_read(self, rng: RandomState | None = None) -> np.ndarray:
         """``G+ - G-`` with caching keyed to the programming generation.
 
         With ``read_noise == 0`` a read is a pure function of the last
         programming, so the subtraction is memoised until either array is
         re-programmed.  Read noise makes every read stochastic; caching is
-        then disabled so each call still draws fresh noise.
+        then disabled so each call still draws fresh noise.  ``rng``
+        redirects that noise draw to a caller-owned stream (``plus`` read
+        first, then ``minus`` — a fixed order, so one seed pins the whole
+        differential realization).
         """
         if self.device.read_noise > 0:
-            return self.array_plus.read() - self.array_minus.read()
+            return self.array_plus.read(rng) - self.array_minus.read(rng)
         versions = (self.array_plus.version, self.array_minus.version)
         if self._cache_versions != versions:
             self._cache_g_diff = (self.array_plus.read()
@@ -145,7 +148,7 @@ class DifferentialCrossbar:
         """Sense-resistor voltages ``I * r_sense``."""
         return self.bitline_currents(activations) * self.r_sense
 
-    def effective_weights(self) -> np.ndarray:
+    def effective_weights(self, rng: RandomState | None = None) -> np.ndarray:
         """The signed weights actually realised by the programmed devices.
 
         Cached against the arrays' programming generation when read noise
@@ -154,10 +157,14 @@ class DifferentialCrossbar:
         weight_errors` previously paid the device reads and scaling twice
         per layer).  Re-programming either array invalidates the cache;
         callers must not mutate the returned array.
+
+        ``rng`` pins this read's noise realization to a caller-owned
+        stream (no caching on that path: the caller *asked* for a fresh
+        stochastic read); it is ignored when ``read_noise == 0``.
         """
         window = self.device.g_max - self.device.g_min
         if self.device.read_noise > 0:
-            return self._differential_read() * self.weight_scale / window
+            return self._differential_read(rng) * self.weight_scale / window
         if self._cache_weights is None or (
                 self._cache_versions != (self.array_plus.version,
                                          self.array_minus.version)):

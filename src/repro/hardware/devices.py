@@ -147,15 +147,23 @@ class RRAMCellArray:
         self.version += 1
         return achieved.copy()
 
-    def read(self) -> np.ndarray:
-        """Read the array conductances (with read noise if configured)."""
+    def read(self, rng: RandomState | None = None) -> np.ndarray:
+        """Read the array conductances (with read noise if configured).
+
+        ``rng`` overrides the array's own stream for this read's noise
+        draw — the hook behind *per-session read realizations*: a serving
+        stream that pins its read-noise rng sees one reproducible noisy
+        read, independent of how many reads other consumers have drawn
+        from the array's stream in the meantime.
+        """
         if self._achieved is None:
             raise ValueError("array read before programming")
         cfg = self.config
         values = self._achieved
         if cfg.read_noise > 0:
+            source = self.rng if rng is None else rng
             values = values * (
-                1.0 + self.rng.normal(0.0, cfg.read_noise, self.shape)
+                1.0 + source.normal(0.0, cfg.read_noise, self.shape)
             )
             values = np.clip(values, cfg.g_min, cfg.g_max)
         return values

@@ -308,7 +308,7 @@ def _handle(state: _WorkerState, msg: dict):
             network, inputs, state.view(msg["labels"]), bits=msg["bits"],
             variation=msg["variation"], seed=msg["seed"],
             batch_size=msg["batch_size"], engine=msg["engine"],
-            precision=msg["precision"])
+            precision=msg["precision"], device=msg.get("device"))
     if cmd == "task":
         fn, item = msg["payload"]
         return fn(item)
@@ -716,7 +716,7 @@ class WorkerPool:
 
     def hw_eval(self, inputs: np.ndarray, labels: np.ndarray, tasks,
                 batch_size: int = 64, engine: str = "fused",
-                precision=None) -> list[float]:
+                precision=None, device=None) -> list[float]:
         """One Fig. 8 accuracy per ``(bits, variation, seed)`` task.
 
         The evaluation set and labels are staged in shared memory for the
@@ -726,6 +726,12 @@ class WorkerPool:
         (exactly reproducible because the seed fully determines the
         programming draw), so the summed accuracies equal the
         full-set serial evaluation's.
+
+        ``device`` (a picklable
+        :class:`~repro.hardware.devices.RRAMDeviceConfig`, or ``None``)
+        rides the command dict to every task as the base device model the
+        grid coordinates override — how a served hardware profile's
+        window/read-noise parameters reach a pooled sweep.
         """
         self.sync_weights()
         inputs = np.asarray(inputs, dtype=np.float64)
@@ -749,6 +755,7 @@ class WorkerPool:
                     "bits": int(bits), "variation": float(variation),
                     "seed": int(seed), "batch_size": int(batch_size),
                     "engine": engine, "precision": precision,
+                    "device": device,
                 })
                 for index, (bits, variation, seed) in enumerate(tasks)
             ]

@@ -21,12 +21,22 @@ The pieces, bottom-up:
   offline bulk evaluation (optionally sharded over a
   :class:`~repro.runtime.pool.WorkerPool`);
 * :mod:`repro.serve.registry` — a versioned on-disk
-  :class:`ModelRegistry` of checkpoints the server cold-starts from;
+  :class:`ModelRegistry` of checkpoints *and hardware profiles* the
+  server cold-starts from;
 * :mod:`repro.serve.loadgen` — a synthetic open-loop arrival process and
   latency/throughput accounting (``benchmarks/bench_serving.py`` /
   ``make bench-serving``).
 
-See ``docs/serving.md`` for the architecture and measured numbers.
+The server can also put the paper's *hardware* in the loop
+(``hardware=`` / ``from_registry(..., hardware_profile=...)``): ticks
+then stream the crossbars' achieved (quantized + variation-noisy)
+weights through the same fused path, ``shadow=True`` canaries a hardware
+realization against the ideal model on live traffic, and
+``evaluate_variation`` runs Fig. 8-scale sweeps over a
+:class:`~repro.runtime.pool.WorkerPool` as a serving workload.
+
+See ``docs/serving.md`` and ``docs/hardware.md`` for the architecture
+and measured numbers.
 """
 
 from .batcher import MicroBatcher, StreamRequest, Ticket

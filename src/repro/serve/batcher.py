@@ -37,16 +37,20 @@ class Ticket:
 
     Filled in by the server tick that processes the chunk; ``outputs``
     holds the ``(T_chunk, n_out)`` output spikes for exactly the
-    submitted steps.
+    submitted steps.  On a shadow-mode server ``divergence`` additionally
+    reports this chunk's ideal-vs-hardware output disagreement (fraction
+    of spike entries that differ); ``None`` otherwise.
     """
 
-    __slots__ = ("session_id", "arrival", "completed_at", "outputs")
+    __slots__ = ("session_id", "arrival", "completed_at", "outputs",
+                 "divergence")
 
     def __init__(self, session_id: str, arrival: float):
         self.session_id = session_id
         self.arrival = arrival
         self.completed_at: float | None = None
         self.outputs: np.ndarray | None = None
+        self.divergence: float | None = None
 
     @property
     def done(self) -> bool:

@@ -47,11 +47,15 @@ class ServingReport:
     mean_batch: float
     steps_per_s: float
     latency_ms: dict  # p50 / p95 / p99 / mean / max
+    #: Mean per-chunk ideal-vs-hardware output divergence (shadow-mode
+    #: servers only; ``None`` otherwise).
+    divergence: float | None = None
 
     @classmethod
     def from_run(cls, offered_rps: float, duration_s: float,
                  latencies_s: list[float], rejected: int,
-                 ticks: int, steps: int) -> "ServingReport":
+                 ticks: int, steps: int,
+                 divergence: float | None = None) -> "ServingReport":
         completed = len(latencies_s)
         duration = max(duration_s, 1e-12)
         if completed:
@@ -79,6 +83,8 @@ class ServingReport:
             mean_batch=round(completed / ticks, 3) if ticks else 0.0,
             steps_per_s=round(steps / duration, 1),
             latency_ms=latency,
+            divergence=(None if divergence is None
+                        else round(float(divergence), 6)),
         )
 
     def to_dict(self) -> dict:
@@ -86,12 +92,16 @@ class ServingReport:
 
     def render(self) -> str:
         lat = self.latency_ms
+
+        def ms(key: str) -> str:
+            # Total-rejection reports carry None latencies by design.
+            return "    n/a" if lat[key] is None else f"{lat[key]:7.2f}"
+
         return (
             f"offered {self.offered_rps:8.1f} rps | served "
             f"{self.throughput_rps:8.1f} rps | rejected {self.rejected:4d} | "
             f"batch {self.mean_batch:5.2f} | latency ms "
-            f"p50 {lat['p50']:7.2f}  p95 {lat['p95']:7.2f}  "
-            f"p99 {lat['p99']:7.2f}"
+            f"p50 {ms('p50')}  p95 {ms('p95')}  p99 {ms('p99')}"
         )
 
 
@@ -184,5 +194,8 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
         now = max(now, event)
 
     duration = max(now, float(arrivals[-1]) if requests else 0.0)
+    divergence = (server.mean_divergence()
+                  if getattr(server, "shadow", False) else None)
     return ServingReport.from_run(rate_rps, duration, latencies, rejected,
-                                  ticks, steps_served)
+                                  ticks, steps_served,
+                                  divergence=divergence)

@@ -2,20 +2,28 @@
 
 A :class:`ModelRegistry` is a directory of named models, each a sequence
 of immutable checkpoint versions written with
-:func:`~repro.common.serialization.save_checkpoint`::
+:func:`~repro.common.serialization.save_checkpoint`, optionally joined by
+immutable **hardware profiles** (``hwNNNN.json``) — the quantization +
+device/variation recipes that map the checkpoints onto crossbars
+(:class:`~repro.hardware.mapped_network.HardwareProfile`)::
 
     <root>/
       shd-mlp/
         v0001.npz  v0001.json
         v0002.npz  v0002.json
+        hw0001.json
       quickstart/
         v0001.npz  v0001.json
 
-``save`` allocates the next version, ``load`` rebuilds the network (and
-returns the metadata saved with it), ``list`` enumerates everything from
-the JSON sidecars alone (no array loading).  The format inherits the
-serialization module's safety property: no pickling, no executable
-content.
+``save`` / ``save_profile`` allocate the next version, ``load`` /
+``load_profile`` rebuild the artifact (and return the metadata saved with
+it), ``list`` enumerates everything from the JSON sidecars alone (no
+array loading).  Checkpoints and profiles version independently: one
+trained model may carry many candidate hardware realizations (4-bit vs
+5-bit, different variation assumptions), and
+:meth:`~repro.serve.server.ModelServer.from_registry` picks one pair to
+serve.  The format inherits the serialization module's safety property:
+no pickling, no executable content.
 """
 
 from __future__ import annotations
@@ -25,12 +33,19 @@ import re
 import time
 
 from ..common.errors import SerializationError
-from ..common.serialization import load_checkpoint, load_json, save_checkpoint
+from ..common.serialization import (
+    load_checkpoint,
+    load_hardware_profile,
+    load_json,
+    save_checkpoint,
+    save_hardware_profile,
+)
 
 __all__ = ["ModelRegistry"]
 
 _NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION = re.compile(r"^v(\d{4,})$")
+_HW_VERSION = re.compile(r"^hw(\d{4,})$")
 
 
 class ModelRegistry:
@@ -62,6 +77,15 @@ class ModelRegistry:
                 f"invalid version {version!r}: expected 'vNNNN'")
         return os.path.join(self.root, name, version + ".npz")
 
+    def profile_path(self, name: str, profile: str) -> str:
+        """The ``.json`` path of one hardware profile (which need not
+        exist)."""
+        self._check_name(name)
+        if not _HW_VERSION.match(profile):
+            raise SerializationError(
+                f"invalid hardware profile {profile!r}: expected 'hwNNNN'")
+        return os.path.join(self.root, name, profile + ".json")
+
     # -- queries -------------------------------------------------------------
     def models(self) -> list[str]:
         """Model names present in the registry, sorted."""
@@ -90,6 +114,24 @@ class ModelRegistry:
         versions = self.versions(name)
         return versions[-1] if versions else None
 
+    def profiles(self, name: str) -> list[str]:
+        """All hardware profiles of ``name``, oldest first (empty if
+        none)."""
+        directory = os.path.join(self.root, self._check_name(name))
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for entry in os.listdir(directory):
+            stem, ext = os.path.splitext(entry)
+            if ext == ".json" and _HW_VERSION.match(stem):
+                found.append(stem)
+        return sorted(found, key=lambda v: int(v[2:]))
+
+    def latest_profile(self, name: str) -> str | None:
+        """The newest hardware profile of ``name``, or ``None``."""
+        profiles = self.profiles(name)
+        return profiles[-1] if profiles else None
+
     def list(self, name: str | None = None) -> list[dict]:
         """Describe every checkpoint (of one model, or of all models).
 
@@ -109,6 +151,28 @@ class ModelRegistry:
                     "path": npz,
                     "network": sidecar.get("network", {}),
                     "meta": sidecar.get("meta", {}),
+                })
+        return entries
+
+    def list_profiles(self, name: str | None = None) -> list[dict]:
+        """Describe every hardware profile (of one model, or of all).
+
+        Each entry carries ``name``, ``profile`` (the ``hwNNNN`` id),
+        ``path``, the profile's config dict and the user metadata saved
+        with it.
+        """
+        names = [self._check_name(name)] if name is not None else self.models()
+        entries = []
+        for model in names:
+            for profile in self.profiles(model):
+                path = self.profile_path(model, profile)
+                payload = load_json(path)
+                entries.append({
+                    "name": model,
+                    "profile": profile,
+                    "path": path,
+                    "config": payload.get("profile", {}),
+                    "meta": payload.get("meta", {}),
                 })
         return entries
 
@@ -140,6 +204,38 @@ class ModelRegistry:
                     f"registry has no model {name!r} under {self.root} "
                     f"(known: {self.models() or 'none'})")
         return load_checkpoint(self.path(name, version))
+
+    def save_profile(self, name: str, profile,
+                     meta: dict | None = None) -> str:
+        """Write ``profile`` (a :class:`~repro.hardware.mapped_network.
+        HardwareProfile`) as the next hardware profile of ``name``;
+        returns the profile id (``"hw0001"``-style).
+
+        Profiles version independently of checkpoints — map the same
+        trained weights under several candidate device assumptions and
+        pick one at serve time.
+        """
+        self._check_name(name)
+        latest = self.latest_profile(name)
+        version = f"hw{(int(latest[2:]) if latest else 0) + 1:04d}"
+        meta = dict(meta or {})
+        meta.setdefault("saved_unix", time.time())
+        save_hardware_profile(self.profile_path(name, version), profile,
+                              meta=meta)
+        return version
+
+    def load_profile(self, name: str, profile: str | None = None):
+        """Rebuild ``(hardware_profile, meta)``.
+
+        ``profile=None`` loads the latest.
+        """
+        if profile is None:
+            profile = self.latest_profile(name)
+            if profile is None:
+                raise SerializationError(
+                    f"registry has no hardware profile for {name!r} under "
+                    f"{self.root} (save one with save_profile)")
+        return load_hardware_profile(self.profile_path(name, profile))
 
     def __repr__(self) -> str:
         return f"ModelRegistry({self.root!r}, models={self.models()})"

@@ -22,6 +22,17 @@ receives exactly the spikes it would have received streaming alone,
 regardless of which other sessions shared its ticks (the CSR product
 computes rows independently — see ``docs/serving.md``).
 
+The server can also serve the *simulated hardware* instead of the ideal
+software model (``hardware=``, a
+:class:`~repro.hardware.mapped_network.HardwareMappedNetwork` mapped from
+the served network): ticks then substitute the crossbars' achieved
+(quantized + variation-noisy) weights into every crossbar product via the
+fused engine's weight-override hook — same dynamics code, hardware weight
+values, same bitwise batching transparency.  ``shadow=True`` runs *both*
+models on every stream and reports their per-chunk output divergence —
+the canary deployment for a hardware realization (see
+``docs/hardware.md``).
+
 The server is single-threaded and clock-injected: ``poll``/``submit``
 accept an explicit ``now`` so schedulers, tests and the open-loop load
 generator (:mod:`repro.serve.loadgen`) can drive it deterministically; by
@@ -38,6 +49,10 @@ from ..common.errors import ShapeError, StateError
 from ..core.engine import StreamState, resolve_precision
 from ..core.network import SpikingNetwork
 from ..core.trainer import run_in_batches
+from ..hardware.mapped_network import (
+    HardwareMappedNetwork,
+    accuracy_under_variation,
+)
 from ..runtime.workspace import Workspace
 from .batcher import MicroBatcher, StreamRequest, Ticket
 from .session import Session
@@ -63,6 +78,22 @@ class ModelServer:
     max_batch, max_wait_ms, queue_limit:
         Scheduler knobs, passed to :class:`~repro.serve.batcher.
         MicroBatcher`: chunks per tick, latency cap, admission bound.
+    hardware:
+        Optional :class:`~repro.hardware.mapped_network.
+        HardwareMappedNetwork` **mapped from this network**.  When given
+        (and ``shadow`` is off) the server serves the hardware
+        realization: every tick substitutes the crossbars' achieved
+        weights into the crossbar products (re-read through the mapped
+        network's generation-keyed cache, so a ``reprogram()`` between
+        ticks hot-swaps the served realization exactly like swapping
+        ideal weights does).  Requires ``engine="fused"`` — the override
+        is a fused-engine hook.
+    shadow:
+        Serve the *ideal* model but also advance a hardware shadow stream
+        per session on the same chunks, recording per-chunk output
+        divergence on each :class:`~repro.serve.batcher.Ticket` and in
+        ``stats`` (see :meth:`mean_divergence`).  Requires ``hardware``.
+        Roughly doubles tick compute.
     clock:
         0-arg callable returning seconds; default ``time.monotonic``.
     """
@@ -70,11 +101,27 @@ class ModelServer:
     def __init__(self, network: SpikingNetwork, *, engine: str = "fused",
                  precision: str = "float64", max_batch: int = 8,
                  max_wait_ms: float = 2.0, queue_limit: int = 64,
-                 clock=time.monotonic):
+                 hardware: HardwareMappedNetwork | None = None,
+                 shadow: bool = False, clock=time.monotonic):
         if engine not in ("fused", "step"):
             raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
+        if shadow and hardware is None:
+            raise ValueError("shadow mode needs a hardware-mapped network "
+                             "to shadow (pass hardware=)")
+        if hardware is not None:
+            if engine != "fused":
+                raise ValueError(
+                    "hardware serving rides the fused engine's weight "
+                    "override; engine='step' cannot host it")
+            if hardware.software_network is not network:
+                raise ValueError(
+                    "hardware was mapped from a different network object; "
+                    "map it from the served network so the realization "
+                    "matches the model")
         self.network = network
         self.engine = engine
+        self.hardware = hardware
+        self.shadow = bool(shadow)
         self.dtype = resolve_precision(precision) or np.dtype(np.float64)
         self.batcher = MicroBatcher(max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
@@ -82,6 +129,7 @@ class ModelServer:
         self.clock = clock
         self.model_name: str | None = None
         self.model_version: str | None = None
+        self.model_profile: str | None = None
         self.model_meta: dict = {}
         self._workspace = Workspace()
         self._sessions: dict[str, Session] = {}
@@ -90,17 +138,34 @@ class ModelServer:
         self.stats = {
             "submitted": 0, "rejected": 0, "completed": 0, "ticks": 0,
             "steps": 0, "max_tick_batch": 0, "closed_sessions": 0,
+            "shadow_chunks": 0, "divergence_sum": 0.0,
         }
 
     @classmethod
     def from_registry(cls, registry, name: str, version: str | None = None,
-                      **kwargs) -> "ModelServer":
+                      hardware_profile=None, **kwargs) -> "ModelServer":
         """Cold-start a server from a
-        :class:`~repro.serve.registry.ModelRegistry` checkpoint."""
+        :class:`~repro.serve.registry.ModelRegistry` checkpoint.
+
+        ``hardware_profile`` additionally loads a versioned hardware
+        profile (``"hw0001"``-style id, or ``True`` for the latest) and
+        maps the checkpoint onto crossbars under it — the hardware-in-
+        the-loop cold start.  Combine with ``shadow=True`` to serve the
+        ideal model while canarying the realization.
+        """
         network, meta = registry.load(name, version)
-        server = cls(network, **kwargs)
+        hardware = None
+        profile_id = None
+        if hardware_profile is not None and hardware_profile is not False:
+            profile_id = (None if hardware_profile is True
+                          else hardware_profile)
+            profile, _ = registry.load_profile(name, profile_id)
+            profile_id = profile_id or registry.latest_profile(name)
+            hardware = profile.build(network)
+        server = cls(network, hardware=hardware, **kwargs)
         server.model_name = name
         server.model_version = version or registry.latest(name)
+        server.model_profile = profile_id
         server.model_meta = meta
         return server
 
@@ -112,7 +177,14 @@ class ModelServer:
         session_id = f"s{self._session_seq:06d}"
         state = StreamState.for_network(self.network, 1, engine=self.engine,
                                         dtype=self.dtype)
-        self._sessions[session_id] = Session(session_id, state, now)
+        shadow_state = None
+        if self.shadow:
+            # Same architecture, same dtype — only the weights differ at
+            # tick time, so the shadow state is an ordinary stream state.
+            shadow_state = StreamState.for_network(
+                self.network, 1, engine=self.engine, dtype=self.dtype)
+        self._sessions[session_id] = Session(session_id, state, now,
+                                             shadow_state=shadow_state)
         return session_id
 
     def session(self, session_id: str) -> Session:
@@ -205,6 +277,18 @@ class ModelServer:
         return ticket.outputs
 
     # -- the tick ------------------------------------------------------------
+    def _tick_weights(self):
+        """Per-layer weight overrides for the primary tick run.
+
+        ``None`` serves the resident network's own (ideal) weights; in
+        hardware mode the mapped network's generation-keyed cache supplies
+        the achieved weights, so a ``reprogram()`` between ticks is
+        observed on the very next tick.
+        """
+        if self.hardware is None or self.shadow:
+            return None
+        return self.hardware.weight_list()
+
     def _run_tick(self, now: float) -> int:
         requests = self.batcher.collect()
         if not requests:
@@ -229,11 +313,19 @@ class ModelServer:
         for row, request in enumerate(requests):
             batched.copy_row(row, request.session.state, 0)
         outputs, _ = self.network.run_stream(xs, batched, lengths=lengths,
-                                             workspace=ws)
+                                             workspace=ws,
+                                             weights=self._tick_weights())
+        divergences = None
+        if self.shadow:
+            divergences = self._run_shadow(requests, xs, lengths, outputs,
+                                           ws)
         for row, request in enumerate(requests):
             request.session.state.copy_row(0, batched, row)
             request.session.last_active = now
             request.session.chunks += 1
+            if divergences is not None:
+                request.ticket.divergence = divergences[row]
+                request.session.divergence_sum += divergences[row]
             request.ticket.complete(outputs[row, :request.steps].copy(), now)
         batched.release_to(ws)
         ws.release(xs, outputs)
@@ -244,23 +336,122 @@ class ModelServer:
                                            count)
         return count
 
+    def _run_shadow(self, requests, xs, lengths, outputs, ws) -> list[float]:
+        """Advance every session's hardware shadow stream on the same
+        gathered chunk; returns the per-row output divergence.
+
+        Divergence is the fraction of output spike entries (over the
+        row's valid steps) on which the ideal and hardware models
+        disagree — 0.0 when the realization is output-transparent for
+        this chunk.
+        """
+        count = len(requests)
+        shadow_batched = StreamState.for_network(self.network, count,
+                                                 engine=self.engine,
+                                                 dtype=self.dtype, ws=ws)
+        for row, request in enumerate(requests):
+            shadow_batched.copy_row(row, request.session.shadow_state, 0)
+        shadow_out, _ = self.network.run_stream(
+            xs, shadow_batched, lengths=lengths, workspace=ws,
+            weights=self.hardware.weight_list())
+        divergences = []
+        for row, request in enumerate(requests):
+            request.session.shadow_state.copy_row(0, shadow_batched, row)
+            steps = request.steps
+            divergences.append(float(np.mean(
+                outputs[row, :steps] != shadow_out[row, :steps])))
+        shadow_batched.release_to(ws)
+        ws.release(shadow_out)
+        self.stats["shadow_chunks"] += count
+        self.stats["divergence_sum"] += float(sum(divergences))
+        return divergences
+
+    def mean_divergence(self) -> float | None:
+        """Mean per-chunk ideal-vs-hardware output divergence observed so
+        far (shadow mode), or ``None`` before any shadowed chunk."""
+        if not self.stats["shadow_chunks"]:
+            return None
+        return self.stats["divergence_sum"] / self.stats["shadow_chunks"]
+
     # -- offline bulk --------------------------------------------------------
     def run_batch(self, inputs: np.ndarray, batch_size: int = 64,
                   workers: int = 0, pool=None) -> np.ndarray:
-        """Stateless bulk inference on the resident model (no sessions).
+        """Stateless bulk inference on the served model (no sessions).
 
         Delegates to :func:`~repro.core.trainer.run_in_batches`; pass
         ``workers >= 1`` (or an existing
-        :class:`~repro.runtime.pool.WorkerPool` built for this network) to
-        shard large evaluation sets across processes.
+        :class:`~repro.runtime.pool.WorkerPool`) to shard large
+        evaluation sets across processes.  A hardware-mode server runs
+        the bulk set through the hardware realization too (via the mapped
+        network's synced clone) — a reused ``pool`` must then have been
+        built from ``server.hardware.hardware_network``, not the software
+        model.  Shadow servers serve ideal outputs here, as in ticks.
         """
-        return run_in_batches(self.network, inputs, batch_size,
+        network = self.network
+        if self.hardware is not None and not self.shadow:
+            self.hardware.weight_list()   # re-sync after any reprogram
+            network = self.hardware.hardware_network
+        return run_in_batches(network, inputs, batch_size,
                               engine=self.engine, precision=self.dtype,
                               workers=workers, pool=pool,
                               workspace=None if (workers or pool) else
                               self._workspace)
     # run_in_batches releases its chunk buffers after concatenation, so
     # handing it the server workspace is safe on the serial path.
+
+    def evaluate_variation(self, inputs: np.ndarray, labels: np.ndarray,
+                           bits=(4, 5),
+                           variations=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+                           n_seeds: int = 3, rng=11, batch_size: int = 64,
+                           workers: int = 0, pool=None) -> list[dict]:
+        """Fig. 8-scale variation sweep of the served model, as a serving
+        workload.
+
+        Evaluates the resident network's accuracy under every
+        ``bits × variation`` grid point (``n_seeds`` independent
+        programming draws each) via
+        :func:`~repro.hardware.mapped_network.accuracy_under_variation`.
+        With ``workers >= 1`` one persistent
+        :class:`~repro.runtime.pool.WorkerPool` is built from the served
+        network and reused across the whole grid, sharding the
+        device-noise seeds across processes; the numbers are identical to
+        the serial sweep's (each seed's rng stream is keyed by the fixed
+        root ``rng`` only).  A hardware-mode server's device model
+        (conductance window, read noise, stuck-at rate) is the sweep's
+        base device, so the fleet evaluates the realization family it
+        actually serves.
+
+        Returns one row dict per grid point:
+        ``{bits, variation, mean_accuracy, std_accuracy, n_seeds}``.
+        """
+        device = self.hardware.device if self.hardware is not None else None
+        bits_list = [bits] if isinstance(bits, int) else list(bits)
+        owned = None
+        if pool is None and workers >= 1:
+            from ..runtime.pool import WorkerPool
+
+            owned = pool = WorkerPool(self.network,
+                                      workers=min(workers, max(n_seeds, 1)))
+        try:
+            rows = []
+            for b in bits_list:
+                for variation in variations:
+                    mean, std = accuracy_under_variation(
+                        self.network, inputs, labels, bits=b,
+                        variation=variation, n_seeds=n_seeds, rng=rng,
+                        batch_size=batch_size, precision=self.dtype,
+                        pool=pool, device=device)
+                    rows.append({
+                        "bits": int(b),
+                        "variation": float(variation),
+                        "mean_accuracy": mean,
+                        "std_accuracy": std,
+                        "n_seeds": int(n_seeds),
+                    })
+        finally:
+            if owned is not None:
+                owned.close()
+        return rows
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
@@ -278,6 +469,9 @@ class ModelServer:
         arch = "-".join(str(s) for s in self.network.sizes)
         model = f", model={self.model_name}:{self.model_version}" \
             if self.model_name else ""
+        mode = ""
+        if self.hardware is not None:
+            mode = ", shadow" if self.shadow else ", hardware"
         return (f"ModelServer({arch}, engine={self.engine!r}, "
                 f"sessions={len(self._sessions)}, "
-                f"pending={self.batcher.pending}{model})")
+                f"pending={self.batcher.pending}{mode}{model})")

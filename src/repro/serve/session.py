@@ -26,22 +26,34 @@ class Session:
         Server-assigned identifier (``"s000001"``-style).
     state:
         The batch-1 :class:`~repro.core.engine.StreamState` carrying the
-        stream across chunks.
+        stream across chunks (under the server's *primary* weights —
+        ideal, or the hardware realization in hardware mode).
+    shadow_state:
+        A second batch-1 state carried only by shadow-mode servers: the
+        same input stream advanced under the hardware realization, so
+        every chunk yields an ideal/hardware output pair to diff.
+        ``None`` otherwise.
     created_at, last_active:
         Server-clock timestamps of creation and the last completed chunk.
     chunks:
         Number of chunks completed for this session.
+    divergence_sum:
+        Accumulated per-chunk ideal-vs-hardware output divergence
+        (shadow mode only; mean it over ``chunks`` for the session rate).
     """
 
-    __slots__ = ("session_id", "state", "created_at", "last_active",
-                 "chunks")
+    __slots__ = ("session_id", "state", "shadow_state", "created_at",
+                 "last_active", "chunks", "divergence_sum")
 
-    def __init__(self, session_id: str, state: StreamState, now: float):
+    def __init__(self, session_id: str, state: StreamState, now: float,
+                 shadow_state: StreamState | None = None):
         self.session_id = session_id
         self.state = state
+        self.shadow_state = shadow_state
         self.created_at = now
         self.last_active = now
         self.chunks = 0
+        self.divergence_sum = 0.0
 
     @property
     def steps(self) -> int:

@@ -236,6 +236,147 @@ class TestModelServer:
         assert np.array_equal(solo[0], out)
 
 
+class TestHardwareServing:
+    """The hardware-in-the-loop serving path: ticks through the mapped
+    realization, shadow divergence, and the Fig. 8 sweep as a serving
+    workload."""
+
+    @staticmethod
+    def make_mapped(net, variation=0.2, seed=3):
+        from repro.hardware import HardwareMappedNetwork, RRAMDeviceConfig
+
+        device = RRAMDeviceConfig(levels=16, variation=variation)
+        return HardwareMappedNetwork(net, device, rng=seed)
+
+    @needs_scipy
+    def test_hardware_ticks_match_solo_hardware_streams(self):
+        net = make_net()
+        mapped = self.make_mapped(net)
+        server = ModelServer(net, hardware=mapped, max_batch=4,
+                             max_wait_ms=1.0)
+        data = [make_chunk(steps=14, seed=i) for i in range(4)]
+        sids = [server.open_session() for _ in range(4)]
+        got = {sid: [] for sid in sids}
+        for a, b in zip([0, 5, 14][:-1], [5, 14]):
+            tickets = [server.submit(sid, chunk[a:b])
+                       for sid, chunk in zip(sids, data)]
+            server.flush()
+            for sid, ticket in zip(sids, tickets):
+                got[sid].append(ticket.outputs)
+        for sid, chunk in zip(sids, data):
+            solo, _ = mapped.run_stream(chunk[None])
+            assert np.array_equal(solo[0],
+                                  np.concatenate(got[sid], axis=0))
+
+    @needs_scipy
+    def test_shadow_serves_ideal_and_reports_divergence(self):
+        net = make_net()
+        mapped = self.make_mapped(net, variation=0.4)
+        server = ModelServer(net, hardware=mapped, shadow=True,
+                             max_batch=4, max_wait_ms=1.0)
+        sid = server.open_session()
+        chunk = make_chunk(steps=16, seed=9)
+        ticket = server.submit(sid, chunk)
+        server.flush()
+        ideal, _ = net.run_stream(chunk[None])
+        hardware, _ = mapped.run_stream(chunk[None])
+        assert np.array_equal(ideal[0], ticket.outputs)  # primary = ideal
+        expected = float(np.mean(ideal[0] != hardware[0]))
+        assert ticket.divergence == pytest.approx(expected)
+        assert server.mean_divergence() == pytest.approx(expected)
+        assert server.stats["shadow_chunks"] == 1
+        assert server.session(sid).divergence_sum == pytest.approx(expected)
+
+    @needs_scipy
+    def test_shadow_stream_carries_across_chunks(self):
+        """The shadow state is a real stream: chunked shadow outputs must
+        equal the solo hardware stream, chunk after chunk."""
+        net = make_net()
+        mapped = self.make_mapped(net, variation=0.4)
+        server = ModelServer(net, hardware=mapped, max_batch=2,
+                             max_wait_ms=1.0, shadow=True)
+        sid = server.open_session()
+        chunk = make_chunk(steps=12, seed=4)
+        divs = []
+        for a, b in [(0, 5), (5, 12)]:
+            ticket = server.submit(sid, chunk[a:b])
+            server.flush()
+            divs.append(ticket.divergence)
+        ideal, _ = net.run_stream(chunk[None])
+        hardware, _ = mapped.run_stream(chunk[None])
+        assert divs[0] == pytest.approx(
+            float(np.mean(ideal[0, :5] != hardware[0, :5])))
+        assert divs[1] == pytest.approx(
+            float(np.mean(ideal[0, 5:] != hardware[0, 5:])))
+
+    def test_mode_validation(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            ModelServer(net, shadow=True)                 # no hardware
+        mapped = self.make_mapped(net)
+        with pytest.raises(ValueError):
+            ModelServer(net, hardware=mapped, engine="step")
+        other = make_net(seed=9)
+        with pytest.raises(ValueError):
+            ModelServer(other, hardware=mapped)           # foreign mapping
+        assert "hardware" in repr(ModelServer(net, hardware=mapped))
+
+    def test_run_batch_serves_the_hardware_realization(self):
+        net = make_net()
+        mapped = self.make_mapped(net)
+        server = ModelServer(net, hardware=mapped)
+        rng = np.random.default_rng(8)
+        inputs = (rng.random((6, 5, SIZES[0])) < 0.15).astype(np.float64)
+        expect = run_in_batches(mapped.hardware_network, inputs, 4)
+        assert np.array_equal(expect, server.run_batch(inputs, 4))
+
+    def test_evaluate_variation_matches_direct_sweep(self):
+        from repro.hardware import accuracy_under_variation
+
+        net = make_net()
+        mapped = self.make_mapped(net)
+        server = ModelServer(net, hardware=mapped)
+        rng = np.random.default_rng(7)
+        inputs = (rng.random((10, 5, SIZES[0])) < 0.15).astype(np.float64)
+        labels = np.arange(10) % SIZES[-1]
+        rows = server.evaluate_variation(inputs, labels, bits=4,
+                                         variations=[0.0, 0.3], n_seeds=2,
+                                         rng=11)
+        assert [r["variation"] for r in rows] == [0.0, 0.3]
+        for row in rows:
+            mean, std = accuracy_under_variation(
+                net, inputs, labels, bits=4, variation=row["variation"],
+                n_seeds=2, rng=11, precision=server.dtype,
+                device=mapped.device)
+            assert row["mean_accuracy"] == mean
+            assert row["std_accuracy"] == std
+
+    def test_evaluate_variation_pooled_matches_serial(self):
+        net = make_net()
+        server = ModelServer(net)
+        rng = np.random.default_rng(12)
+        inputs = (rng.random((8, 5, SIZES[0])) < 0.15).astype(np.float64)
+        labels = np.arange(8) % SIZES[-1]
+        serial = server.evaluate_variation(inputs, labels, bits=4,
+                                           variations=[0.2], n_seeds=2)
+        pooled = server.evaluate_variation(inputs, labels, bits=4,
+                                           variations=[0.2], n_seeds=2,
+                                           workers=1)
+        assert serial == pooled
+
+    def test_loadgen_reports_shadow_divergence(self):
+        net = make_net()
+        server = ModelServer(net, hardware=self.make_mapped(net),
+                             shadow=True, max_batch=4, max_wait_ms=1.0)
+        report = open_loop(server, sessions=4, requests=20, chunk_steps=4,
+                           rate_rps=2000.0, rng=0)
+        assert report.divergence is not None
+        assert 0.0 <= report.divergence <= 1.0
+        plain = ModelServer(make_net(), max_batch=4, max_wait_ms=1.0)
+        assert open_loop(plain, sessions=2, requests=10, chunk_steps=4,
+                         rate_rps=2000.0, rng=0).divergence is None
+
+
 class TestModelRegistry:
     def test_save_load_list_roundtrip(self, tmp_path):
         registry = ModelRegistry(str(tmp_path / "registry"))
@@ -278,6 +419,62 @@ class TestModelRegistry:
         solo, _ = net.run_stream(chunk[None])
         assert np.array_equal(solo[0], server.infer(sid, chunk))
 
+    def test_hardware_profile_roundtrip(self, tmp_path):
+        from repro.hardware import HardwareProfile
+
+        registry = ModelRegistry(str(tmp_path))
+        assert registry.profiles("m") == []
+        assert registry.latest_profile("m") is None
+        profile = HardwareProfile.create(bits=4, variation=0.2, seed=3)
+        p1 = registry.save_profile("m", profile, meta={"note": "fig8"})
+        p2 = registry.save_profile("m", HardwareProfile.create(bits=5))
+        assert (p1, p2) == ("hw0001", "hw0002")
+        assert registry.profiles("m") == ["hw0001", "hw0002"]
+        assert registry.latest_profile("m") == "hw0002"
+        loaded, meta = registry.load_profile("m", "hw0001")
+        assert loaded == profile
+        assert meta["note"] == "fig8"
+        latest, _ = registry.load_profile("m")
+        assert latest.bits == 5
+        entries = registry.list_profiles("m")
+        assert [e["profile"] for e in entries] == ["hw0001", "hw0002"]
+        assert entries[0]["config"]["quantization"]["bits"] == 4
+        with pytest.raises(SerializationError):
+            registry.profile_path("m", "v0001")
+        with pytest.raises(SerializationError):
+            registry.load_profile("absent")
+
+    def test_profiles_do_not_leak_into_checkpoint_listing(self, tmp_path):
+        from repro.hardware import HardwareProfile
+
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("m", make_net())
+        registry.save_profile("m", HardwareProfile.create(bits=4))
+        assert registry.versions("m") == ["v0001"]
+        assert [e["version"] for e in registry.list("m")] == ["v0001"]
+
+    @needs_scipy
+    def test_from_registry_with_hardware_profile(self, tmp_path):
+        from repro.hardware import HardwareProfile
+
+        registry = ModelRegistry(str(tmp_path))
+        net = make_net()
+        registry.save("m", net)
+        profile = HardwareProfile.create(bits=4, variation=0.3, seed=5)
+        registry.save_profile("m", profile)
+        server = ModelServer.from_registry(registry, "m",
+                                           hardware_profile=True,
+                                           max_batch=2)
+        assert server.model_profile == "hw0001"
+        assert server.hardware is not None
+        sid = server.open_session()
+        chunk = make_chunk(steps=6, seed=2)
+        # the served realization == building the profile by hand on the
+        # loaded checkpoint (weights equal the original network's)
+        reference = profile.build(server.network)
+        solo, _ = reference.run_stream(chunk[None])
+        assert np.array_equal(solo[0], server.infer(sid, chunk))
+
 
 class TestLoadgen:
     def test_open_loop_accounting(self):
@@ -294,6 +491,16 @@ class TestLoadgen:
         assert set(payload["latency_ms"]) == {"p50", "p95", "p99", "mean",
                                               "max"}
         assert isinstance(report.render(), str)
+
+    def test_render_survives_total_rejection(self):
+        """from_run deliberately emits None latencies when nothing
+        completed; render() must stay printable on that report."""
+        from repro.serve.loadgen import ServingReport
+
+        report = ServingReport.from_run(100.0, 1.0, [], rejected=5,
+                                        ticks=0, steps=0)
+        assert report.latency_ms["p50"] is None
+        assert "n/a" in report.render()
 
     def test_overload_rejects_but_serves_at_capacity(self):
         server = ModelServer(make_net(), max_batch=2, max_wait_ms=0.1,

@@ -12,7 +12,9 @@ Two modes sharing one CLI:
   (``benchmarks/bench_serving.py``: Poisson arrivals through the
   micro-batching :class:`repro.serve.ModelServer`) and writes
   ``BENCH_serving.json`` with throughput_rps and p50/p95/p99 latency per
-  offered load.
+  offered load — for the ideal model, the crossbar-mapped hardware
+  realization, and the shadow (ideal + hardware, with per-chunk output
+  divergence) configurations side by side.
 
 The shapes match ``benchmarks/bench_throughput.py`` and
 ``docs/performance.md``: batch 32 (forward/backward) and batch 64

@@ -1,23 +1,35 @@
-"""Documentation checker: every local markdown link must resolve.
+"""Documentation checker: links must resolve, module references must import.
 
-Walks README.md and docs/*.md, extracts relative links (ignoring web
-URLs and pure anchors) and fails if any target file is missing. This is
-the `make docs` target — it keeps the README's promise that every paper
-artifact is reachable from it.
+Walks README.md and docs/*.md and fails if
+
+* any relative markdown link targets a missing file (web URLs and pure
+  anchors are ignored), or
+* any dotted ``repro.*`` reference in the prose does not resolve to an
+  importable module (plus, optionally, an attribute chain on it — e.g.
+  ``repro.serve.server.ModelServer.poll``).  Docs drift silently when a
+  module is renamed; imports do not.
+
+This is the `make docs` target and runs in CI — it keeps the README's
+promise that every paper artifact is reachable from it, and that every
+module path the docs name still exists.
 """
 
 from __future__ import annotations
 
+import importlib
 import re
 import sys
 from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+MODULE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 REPO = Path(__file__).resolve().parent.parent
 
+sys.path.insert(0, str(REPO / "src"))
 
-def check(markdown: Path) -> list[str]:
+
+def check_links(markdown: Path) -> list[str]:
     errors = []
     text = markdown.read_text(encoding="utf-8")
     for target in LINK.findall(text):
@@ -29,20 +41,63 @@ def check(markdown: Path) -> list[str]:
     return errors
 
 
+def _reference_resolves(ref: str, cache: dict[str, bool]) -> bool:
+    """Whether ``ref`` names an importable module / attribute chain.
+
+    Tries the longest importable module prefix, then walks the remaining
+    components as attributes (classes, functions, methods, constants).
+    """
+    if ref in cache:
+        return cache[ref]
+    parts = ref.split(".")
+    resolved = False
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        resolved = True
+        for attr in parts[split:]:
+            if not hasattr(obj, attr):
+                resolved = False
+                break
+            obj = getattr(obj, attr)
+        break
+    cache[ref] = resolved
+    return resolved
+
+
+def check_module_refs(markdown: Path, cache: dict[str, bool]) -> list[str]:
+    text = markdown.read_text(encoding="utf-8")
+    return [
+        f"{markdown.relative_to(REPO)}: unresolvable module reference {ref}"
+        for ref in sorted(set(MODULE.findall(text)))
+        if not _reference_resolves(ref, cache)
+    ]
+
+
 def main() -> int:
     sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
     missing = [str(s.relative_to(REPO)) for s in sources if not s.exists()]
     if missing:
         print("missing documentation files:", ", ".join(missing))
         return 1
-    errors = [e for source in sources for e in check(source)]
+    cache: dict[str, bool] = {}
+    errors = [
+        error
+        for source in sources
+        for error in (*check_links(source),
+                      *check_module_refs(source, cache))
+    ]
     for error in errors:
         print(error)
     checked = len(sources)
+    refs = len(cache)
     if errors:
-        print(f"FAIL: {len(errors)} broken link(s) across {checked} files")
+        print(f"FAIL: {len(errors)} problem(s) across {checked} files")
         return 1
-    print(f"OK: all local links resolve across {checked} documentation files")
+    print(f"OK: all local links resolve and all {refs} repro.* references "
+          f"import across {checked} documentation files")
     return 0
 
 
