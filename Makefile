@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-paper docs quickstart serve-demo
+.PHONY: test bench bench-json bench-serving bench-aware bench-paper docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -23,6 +23,10 @@ bench-json:
 ## open-loop serving benchmark (throughput_rps, p50/p95/p99 latency)
 bench-serving:
 	$(PYTHON) tools/bench_to_json.py --serving --out BENCH_serving.json
+
+## hardware-aware train-step cost (ideal vs quantize vs quantize+noise)
+bench-aware:
+	$(PYTHON) tools/bench_to_json.py --aware --out BENCH_aware.json
 
 ## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
 bench-paper:

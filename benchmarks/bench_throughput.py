@@ -104,10 +104,10 @@ def train_setup():
     return net, x, labels
 
 
-def _make_trainer(net, workers):
+def _make_trainer(net, workers, hardware=None):
     return Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
         epochs=1, batch_size=BENCH_TRAIN_BATCH, learning_rate=1e-4,
-        optimizer="adamw", workers=workers))
+        optimizer="adamw", workers=workers, hardware=hardware))
 
 
 def test_train_step_throughput(benchmark, train_setup):
@@ -131,6 +131,40 @@ def test_train_step_throughput_workers2(benchmark, train_setup):
         assert np.isfinite(loss)
     finally:
         trainer.close()
+
+
+def test_train_step_throughput_hardware_aware(benchmark, train_setup):
+    """Hardware-aware (quantize-in-the-loop) train step, no device noise.
+
+    Measures the straight-through-estimator overhead: one fake-quant pass
+    over the master weights per step plus the weight-override forward/
+    backward.  Compare against ``test_train_step_throughput``.
+    """
+    from repro.hardware import HardwareProfile
+
+    net, x, labels = train_setup
+    trainer = _make_trainer(
+        net, workers=0,
+        hardware=HardwareProfile.create(bits=4, variation=0.0, seed=13))
+    loss = benchmark(lambda: trainer.train_batch(x, labels))
+    assert np.isfinite(loss)
+
+
+def test_train_step_throughput_hardware_aware_noise(benchmark, train_setup):
+    """Hardware-aware train step with per-step programming-noise draws.
+
+    Adds the lognormal variation sampling (two draws per layer, the
+    crossbar noise model) on top of the quantize path — the full Fig. 8
+    operating-point training cost (4-bit, 10 % variation).
+    """
+    from repro.hardware import HardwareProfile
+
+    net, x, labels = train_setup
+    trainer = _make_trainer(
+        net, workers=0,
+        hardware=HardwareProfile.create(bits=4, variation=0.1, seed=13))
+    loss = benchmark(lambda: trainer.train_batch(x, labels))
+    assert np.isfinite(loss)
 
 
 def test_crossbar_matvec_throughput(benchmark):

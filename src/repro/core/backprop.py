@@ -72,7 +72,8 @@ def backward(network: SpikingNetwork, record: RunRecord,
              engine: str = "fused",
              precision: str | None = None,
              workspace=None,
-             need_input_grad: bool = True) -> GradientResult:
+             need_input_grad: bool = True,
+             weights=None) -> GradientResult:
     """BPTT through a recorded forward run.
 
     Parameters
@@ -104,6 +105,14 @@ def backward(network: SpikingNetwork, record: RunRecord,
         ``input_grad`` closure entirely (training only reads
         ``weight_grads``); ``input_grad`` is then ``None``.  The
         reference engine ignores this and always materialises it.
+    weights:
+        Optional per-layer weight overrides — the same list the forward
+        pass ran with (``network.run(..., weights=...)``), so the adjoint
+        matmuls traverse the weights that actually produced ``record``.
+        The returned ``weight_grads`` are gradients with respect to the
+        override values; hardware-aware training's straight-through
+        estimator applies them to the master weights unchanged.  Fused
+        engine only.
 
     Returns
     -------
@@ -121,7 +130,12 @@ def backward(network: SpikingNetwork, record: RunRecord,
         from .engine import fused_backward
         return fused_backward(network, record, grad_outputs, mode=mode,
                               precision=precision, ws=workspace,
-                              need_input_grad=need_input_grad)
+                              need_input_grad=need_input_grad,
+                              weights=weights)
+    if weights is not None:
+        raise ValueError(
+            "weight overrides are a fused-engine feature (the reference "
+            "adjoints read layer.weight directly)")
     outputs = record.outputs
     if grad_outputs.shape != outputs.shape:
         raise ShapeError(

@@ -286,8 +286,20 @@ def exp_scan_reverse(xs: np.ndarray, decay: float,
 
 # -- forward ----------------------------------------------------------------
 
+def _resolve_weight_override(layer, weight):
+    """Validate a per-layer weight override (``None`` = layer's own)."""
+    if weight is None:
+        return None
+    weight = np.asarray(weight)
+    if weight.shape != layer.weight.shape:
+        raise ShapeError(
+            f"{layer.name}: weight override shape {weight.shape} != "
+            f"{layer.weight.shape}")
+    return weight
+
+
 def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
-                        _csr=_AUTO_CSR, ws=None
+                        _csr=_AUTO_CSR, ws=None, weight=None
                         ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
     """Run one :class:`~repro.core.layers.SpikingLinear` over a whole sequence.
 
@@ -305,6 +317,11 @@ def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
     ws:
         Optional :class:`~repro.runtime.workspace.Workspace` serving the
         large buffers (identical results; the caller recycles them).
+    weight:
+        Optional ``(n_out, n_in)`` array substituting the layer's weight
+        matrix in the crossbar product (the layer's own parameters are
+        untouched) — the weight-override hook hardware-aware training and
+        hardware-in-the-loop inference ride.
 
     Returns
     -------
@@ -324,9 +341,10 @@ def fused_layer_forward(layer, xs: np.ndarray, need_k: bool = True,
     if xs.shape[2] != layer.n_in:
         raise ShapeError(f"{layer.name}: expected {layer.n_in} inputs, "
                          f"got {xs.shape[2]}")
+    weight = _resolve_weight_override(layer, weight)
     if layer.neuron_kind == "adaptive":
-        return _fused_adaptive_forward(layer, xs, need_k, _csr, ws)
-    return _fused_hard_reset_forward(layer, xs, _csr, ws)
+        return _fused_adaptive_forward(layer, xs, need_k, _csr, ws, weight)
+    return _fused_hard_reset_forward(layer, xs, _csr, ws, weight)
 
 
 def _layer_gv(layer_weight, xs, dtype, csr, ws, gain: float = 1.0):
@@ -359,7 +377,8 @@ def _layer_gv(layer_weight, xs, dtype, csr, ws, gain: float = 1.0):
     return gv
 
 
-def _fused_adaptive_forward(layer, xs, need_k, csr=_AUTO_CSR, ws=None):
+def _fused_adaptive_forward(layer, xs, need_k, csr=_AUTO_CSR, ws=None,
+                            weight=None):
     """Adaptive-threshold layer: sparse matmul -> scan -> threshold scan.
 
     The synapse filter (eq. 9) and the crossbar product (eq. 7) are both
@@ -386,7 +405,8 @@ def _fused_adaptive_forward(layer, xs, need_k, csr=_AUTO_CSR, ws=None):
     # Crossbar product of the raw spikes for every step at once, then the
     # synapse filter as an in-place scan over (batch, T, n_out).  ``gv``
     # starts life as g[t] and is rewritten to v[t] = g[t] - theta*h[t].
-    gv = _layer_gv(layer.weight, xs, dtype, csr, ws)
+    gv = _layer_gv(layer.weight if weight is None else weight,
+                   xs, dtype, csr, ws)
     exp_scan(gv, alpha, out=gv)
 
     if need_k:
@@ -424,7 +444,8 @@ def _fused_adaptive_forward(layer, xs, need_k, csr=_AUTO_CSR, ws=None):
     return spikes, k, gv
 
 
-def _fused_hard_reset_forward(layer, xs, csr=_AUTO_CSR, ws=None):
+def _fused_hard_reset_forward(layer, xs, csr=_AUTO_CSR, ws=None,
+                              weight=None):
     """Hard-reset layer: batched matmul -> leaky-integrate/reset scan."""
     dtype = xs.dtype
     batch, steps, n_in = xs.shape
@@ -440,8 +461,8 @@ def _fused_hard_reset_forward(layer, xs, csr=_AUTO_CSR, ws=None):
     # Weighted input for every step at once (sparse over the raw spikes);
     # fold the discretisation gain into the weight so the scan below is
     # pure elementwise work.
-    gv = _layer_gv(layer.weight, xs, dtype, csr, ws,
-                   gain=float(neuron.input_gain))
+    gv = _layer_gv(layer.weight if weight is None else weight,
+                   xs, dtype, csr, ws, gain=float(neuron.input_gain))
 
     spikes = _ws_empty(ws, (batch, steps, n_out), dtype)
     v_post = np.zeros((batch, n_out), dtype=dtype)
@@ -463,7 +484,8 @@ def _fused_hard_reset_forward(layer, xs, csr=_AUTO_CSR, ws=None):
     return spikes, None, gv
 
 
-def fused_run(network, inputs: np.ndarray, record: bool = False, ws=None):
+def fused_run(network, inputs: np.ndarray, record: bool = False, ws=None,
+              weights=None):
     """Fused forward pass over the whole stack; drop-in for the step loop.
 
     ``inputs`` must already be a validated ``(batch, T, n_input)`` array of
@@ -474,19 +496,32 @@ def fused_run(network, inputs: np.ndarray, record: bool = False, ws=None):
     matmuls.  With a workspace and ``record=False`` the intermediate
     layers' tensors are recycled as soon as the next layer has consumed
     them (the returned outputs stay checked out for the caller).
+
+    ``weights`` (optional, one ``(n_out, n_in)`` array per layer)
+    substitutes the crossbar product's weight matrices without touching
+    the network's parameters — the batch-mode twin of
+    :func:`run_streaming`'s override.  Hardware-aware training runs its
+    forward pass through the quantized(+noisy) weights this way; a
+    following :func:`fused_backward` must be given the *same* list so the
+    adjoint matmuls traverse the weights the forward actually used.
     """
     from .layers import LayerStepRecord   # local import: avoids a cycle
     from .network import RunRecord
 
+    if weights is not None and len(weights) != len(network.layers):
+        raise ShapeError(
+            f"expected {len(network.layers)} weight overrides, "
+            f"got {len(weights)}")
     x = inputs
     layer_records: list[LayerStepRecord] = []
     input_csrs = []
     spikes = inputs
-    for layer in network.layers:
+    for index, layer in enumerate(network.layers):
         csr = _as_csr(x.reshape(-1, layer.n_in), ws)
         input_csrs.append(csr)
-        spikes, k, v = fused_layer_forward(layer, x, need_k=record,
-                                           _csr=csr, ws=ws)
+        spikes, k, v = fused_layer_forward(
+            layer, x, need_k=record, _csr=csr, ws=ws,
+            weight=None if weights is None else weights[index])
         if record:
             layer_records.append(LayerStepRecord(k=k, v=v, spikes=spikes))
         elif ws is not None:
@@ -851,7 +886,7 @@ def _stream_hard_reset_forward(layer, xs, st, lengths, ends, ws,
 
 def fused_backward(network, record, grad_outputs: np.ndarray,
                    mode: str = "exact", precision=None, ws=None,
-                   need_input_grad: bool = True):
+                   need_input_grad: bool = True, weights=None):
     """Fused BPTT through a recorded run; drop-in for
     :func:`repro.core.backprop.backward`.
 
@@ -871,6 +906,13 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
     passes ``need_input_grad=False`` — the closure (and its captured
     plain buffer + weight snapshot) is then skipped entirely and every
     adjoint buffer returns to the workspace.
+
+    ``weights`` substitutes the per-layer weight matrices of the adjoint
+    matmuls — pass the same override list the forward
+    (:func:`fused_run` ``weights=``) ran with.  The returned
+    ``weight_grads`` are then gradients with respect to the *override*
+    weights; the straight-through estimator of hardware-aware training
+    applies them unchanged to the full-precision master weights.
     """
     if mode not in ("exact", "truncated"):
         raise ValueError(f"mode must be 'exact' or 'truncated', got {mode!r}")
@@ -882,6 +924,10 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
             f"grad_outputs shape {grad_outputs.shape} != outputs {outputs.shape}"
         )
     dtype = resolve_precision(precision) or outputs.dtype
+    if weights is not None and len(weights) != len(network.layers):
+        raise ShapeError(
+            f"expected {len(network.layers)} weight overrides, "
+            f"got {len(weights)}")
 
     grad_spikes = np.asarray(grad_outputs, dtype=dtype)
     cached_csrs = getattr(record, "_input_csrs", None)
@@ -890,6 +936,8 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
     for index in range(len(network.layers) - 1, -1, -1):
         layer = network.layers[index]
         layer_record = record.layers[index]
+        override = _resolve_weight_override(
+            layer, None if weights is None else weights[index])
         # Forward-pass conversions are authoritative: a cached CSR is
         # reused, a cached None means the input was probed dense (skip
         # re-probing).  Only a missing/incompatible cache re-probes.
@@ -902,12 +950,12 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
         if layer.neuron_kind == "adaptive":
             w_grad, grad_inputs_fn, retained = _fused_backward_adaptive(
                 layer, layer_record, record.layer_input(index),
-                grad_spikes, mode, dtype, csr, defer, ws,
+                grad_spikes, mode, dtype, csr, defer, ws, override,
             )
         else:
             w_grad, grad_inputs_fn, retained = _fused_backward_hard_reset(
                 layer, layer_record, record.layer_input(index),
-                grad_spikes, dtype, csr, defer, ws,
+                grad_spikes, dtype, csr, defer, ws, override,
             )
         weight_grads[index] = w_grad
         if index == 0:
@@ -935,7 +983,7 @@ def fused_backward(network, record, grad_outputs: np.ndarray,
 
 def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
                              mode, dtype, csr=_AUTO_CSR, defer=False,
-                             ws=None):
+                             ws=None, override=None):
     """Adaptive-layer adjoints with the matmuls hoisted out of the time loop.
 
     Sequential part (elementwise, reverse time)::
@@ -1002,7 +1050,10 @@ def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
     )
     w_grad = spike_outer(e.reshape(batch * steps, n_out), flat_x, csr=csr)
 
-    weight = np.asarray(layer.weight, dtype=dtype)
+    # The adjoint matmuls traverse the weights the forward pass used: the
+    # layer's own, or the caller's override (hardware-aware training).
+    weight = np.asarray(layer.weight if override is None else override,
+                        dtype=dtype)
     if defer and weight is layer.weight:
         # The closure may be called after an in-place optimizer step;
         # snapshot the weights the forward pass actually used.
@@ -1031,7 +1082,7 @@ def _fused_backward_adaptive(layer, layer_record, layer_inputs, grad_spikes,
 
 def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
                                grad_spikes, dtype, csr=_AUTO_CSR,
-                               defer=False, ws=None):
+                               defer=False, ws=None, override=None):
     """Hard-reset adjoints with the matmuls hoisted (reset gate detached)."""
     params = layer.params
     alpha = layer.neuron.alpha
@@ -1062,7 +1113,8 @@ def _fused_backward_hard_reset(layer, layer_record, layer_inputs,
         dv_t += scratch
     _ws_release(ws, scratch)
 
-    weight = np.asarray(layer.weight, dtype=dtype)
+    weight = np.asarray(layer.weight if override is None else override,
+                        dtype=dtype)
     if defer and weight is layer.weight:
         # Snapshot: the closure may run after an in-place optimizer step.
         weight = weight.copy()

@@ -134,7 +134,8 @@ class SpikingNetwork:
     def run(self, inputs: np.ndarray, record: bool = False,
             dtype=np.float64, engine: str = "fused",
             precision: str | None = None,
-            workspace=None) -> tuple[np.ndarray, RunRecord | None]:
+            workspace=None, weights=None
+            ) -> tuple[np.ndarray, RunRecord | None]:
         """Run a batch of spike sequences through the network.
 
         Parameters
@@ -159,6 +160,15 @@ class SpikingNetwork:
             only pass one from code that recycles them, like the
             :class:`~repro.core.trainer.Trainer`.  Ignored by
             ``engine="step"``.
+        weights:
+            Optional per-layer weight overrides (one ``(n_out, n_in)``
+            array per layer) substituting the crossbar product's matrices
+            for this run only — the network's own parameters are
+            untouched.  The batch twin of :meth:`run_stream`'s override:
+            hardware-aware training runs its forward pass through the
+            quantized(+noisy) weights this way (see
+            :class:`~repro.core.trainer.TrainerConfig` ``hardware=``).
+            Fused engine only.
 
         Returns
         -------
@@ -179,7 +189,12 @@ class SpikingNetwork:
                 f"expected {self.sizes[0]} input channels, got {inputs.shape[2]}"
             )
         if engine == "fused":
-            return fused_run(self, inputs, record=record, ws=workspace)
+            return fused_run(self, inputs, record=record, ws=workspace,
+                             weights=weights)
+        if weights is not None:
+            raise ValueError(
+                "weight overrides are a fused-engine feature (the step "
+                "path reads layer.weight directly)")
         batch, steps, _ = inputs.shape
         self.reset_state(batch, dtype=dtype)
 

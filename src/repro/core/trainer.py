@@ -22,6 +22,17 @@ Two runtime knobs scale it beyond a single-core loop:
 Both knobs preserve results: the workspace is bitwise-transparent, and the
 parallel reduction is bitwise-reproducible and pinned against the serial
 execution of the same shard split in ``tests/unit/test_runtime.py``.
+
+A third knob closes the paper's codesign loop:
+``TrainerConfig(hardware=HardwareProfile(...))`` trains **hardware-aware**
+— every forward/backward pass runs through the k-bit quantized (and
+optionally variation-noisy) weights the profile's crossbars would realise,
+via the fused engine's weight-override hook, while the optimizer updates
+full-precision master weights (straight-through estimator).  Train-time
+and map-time share one quantization grid by construction
+(:mod:`repro.hardware.quantization`), and the pooled data-parallel path
+stages the override through shared memory, staying bitwise-equal to the
+serial path.  See ``docs/training.md``.
 """
 
 from __future__ import annotations
@@ -84,6 +95,27 @@ class TrainerConfig(BaseConfig):
         forward after every epoch for ``train_metrics``.  Off by default —
         it roughly doubles epoch cost on large sets; the running
         ``train_loss`` is recorded either way.
+    hardware:
+        ``None`` (default): ideal training.  A
+        :class:`~repro.hardware.mapped_network.HardwareProfile` switches
+        on **hardware-aware training** — the codesign loop closed: every
+        forward (and backward) pass runs through the weights the
+        profile's crossbar would actually realise, via the engines'
+        weight-override hook, while the optimizer keeps updating the
+        full-precision master weights (a straight-through estimator —
+        the quantizer is treated as the identity on the backward pass).
+        With every device noise source off (``variation``,
+        ``stuck_at_rate``, ``read_noise`` all 0) the override is the pure
+        :func:`~repro.hardware.quantization.fake_quantize` grid (the
+        map-time grid, bitwise); with any of them configured each
+        optimizer step samples one fresh programming-and-read draw
+        (:func:`~repro.hardware.quantization.sample_programmed_weights`,
+        seeded from ``profile.seed`` and the step counter), so the
+        learned solution is robust to the distribution of crossbars it
+        may be mapped onto.  Requires ``engine="fused"``.  Evaluation
+        (:meth:`Trainer.evaluate`) still reports the ideal model — map
+        the trained network under the same profile to measure deployed
+        accuracy (see ``docs/training.md``).
     """
 
     epochs: int = 10
@@ -98,6 +130,7 @@ class TrainerConfig(BaseConfig):
     precision: str = "float64"
     workers: int = 0
     eval_train: bool = False
+    hardware: object | None = None
 
     def validate(self) -> None:
         self.require_positive("epochs")
@@ -116,6 +149,19 @@ class TrainerConfig(BaseConfig):
         self.require(self.precision in ("float32", "float64"),
                      f"precision must be float32|float64, "
                      f"got {self.precision!r}")
+        if self.hardware is not None:
+            # Duck-typed (a HardwareProfile) to keep core import-free of
+            # the hardware package at module load.
+            self.require(
+                hasattr(self.hardware, "device")
+                and hasattr(self.hardware, "quantization")
+                and hasattr(self.hardware, "seed"),
+                f"hardware must be a HardwareProfile, "
+                f"got {type(self.hardware).__name__}")
+            self.require(self.engine == "fused",
+                         "hardware-aware training rides the fused "
+                         "engine's weight override; engine='step' "
+                         "cannot host it")
 
 
 @dataclasses.dataclass
@@ -168,6 +214,48 @@ class Trainer:
         self.history: list[EpochStats] = []
         self._workspace = Workspace()
         self._pool = None
+        # Hardware-aware training: the per-step programming-noise stream
+        # is keyed by (profile seed, step counter), so a run is exactly
+        # reproducible and independent of batch contents.
+        self._hw_root = (RandomState(config.hardware.seed)
+                         if config.hardware is not None else None)
+        self._hw_step = 0
+
+    # -- hardware-aware training --------------------------------------------
+    def hardware_weights(self) -> list[np.ndarray] | None:
+        """The weight override of the *next* hardware-aware step, or
+        ``None`` for ideal training.
+
+        With every device noise source off this is the deterministic
+        :func:`~repro.hardware.quantization.fake_quantize` of the current
+        master weights — bitwise the map-time grid.  With variation,
+        stuck-at faults or read noise configured, each call consumes one
+        step of the profile-seeded noise stream and returns a fresh
+        simulated programming-and-read
+        (:func:`~repro.hardware.quantization.sample_programmed_weights`).
+        """
+        profile = self.config.hardware
+        if profile is None:
+            return None
+        # Local import: core.trainer is imported by hardware.mapped_network,
+        # so a module-level hardware import would be circular.
+        from ..hardware.quantization import (
+            fake_quantize,
+            sample_programmed_weights,
+        )
+
+        device = profile.device
+        if (device.variation > 0 or device.stuck_at_rate > 0
+                or device.read_noise > 0):
+            draw = self._hw_root.child(f"train-step{self._hw_step}")
+            self._hw_step += 1
+            return [
+                sample_programmed_weights(layer.weight, device,
+                                          rng=draw.child(f"layer{i}"))
+                for i, layer in enumerate(self.network.layers)
+            ]
+        return [fake_quantize(layer.weight, device)
+                for layer in self.network.layers]
 
     # -- parallel runtime ---------------------------------------------------
     def _ensure_pool(self):
@@ -201,15 +289,21 @@ class Trainer:
 
         With ``config.workers >= 1`` the batch is computed as data-parallel
         shards on the worker pool (one shard per worker, gradients reduced
-        in shard order); serially in-process otherwise.
+        in shard order); serially in-process otherwise.  With
+        ``config.hardware`` the forward/backward run through that step's
+        quantized(+noisy) weight realization (see :meth:`hardware_weights`)
+        while the optimizer updates the master weights — the
+        straight-through estimator.
         """
         cfg = self.config
+        override = self.hardware_weights()
         if cfg.workers >= 1:
             pool = self._ensure_pool()
             loss_value, grads = data_parallel_grads(
                 self.network, self.loss, inputs, targets,
                 n_shards=cfg.workers, mode=cfg.gradient_mode,
                 engine=cfg.engine, precision=cfg.precision, pool=pool,
+                weights=override,
             )
         else:
             # One shard == the whole batch; shard_grads is the exact unit
@@ -219,6 +313,7 @@ class Trainer:
                 self.network, self.loss, inputs, targets,
                 mode=cfg.gradient_mode, engine=cfg.engine,
                 precision=cfg.precision, ws=self._workspace,
+                weights=override,
             )
         if self.config.grad_clip > 0:
             clip_grad_norm(grads, self.config.grad_clip)

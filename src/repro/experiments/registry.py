@@ -73,6 +73,11 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Accuracy under 4/5-bit quantization and process variation",
             runners.run_fig8),
         ExperimentSpec(
+            "fig8-aware", "Fig. 8 (recovery)",
+            "Hardware-aware training vs post-hoc mapping at 4-bit/10% "
+            "variation",
+            runners.run_fig8_aware),
+        ExperimentSpec(
             "power-area", "Section V-C",
             "Power / energy / area of the neuron+synapse circuit",
             runners.run_power_area),

@@ -3,7 +3,12 @@ the behavioral analog circuit simulator, the paper's Fig. 6 neuron
 circuit, and power/energy/area estimation."""
 
 from .crossbar import DifferentialCrossbar
-from .devices import RRAMCellArray, RRAMDeviceConfig
+from .devices import (
+    RRAMCellArray,
+    RRAMDeviceConfig,
+    program_conductances,
+    quantize_conductances,
+)
 from .mapped_network import (
     HardwareMappedNetwork,
     HardwareProfile,
@@ -28,7 +33,10 @@ from .power import (
 from .quantization import (
     QuantizationConfig,
     conductances_to_weights,
+    fake_quantize,
     quantize_weights,
+    resolve_weight_scale,
+    sample_programmed_weights,
     weights_to_conductances,
 )
 from .tiling import TiledCrossbar
@@ -37,6 +45,8 @@ __all__ = [
     "DifferentialCrossbar",
     "RRAMCellArray",
     "RRAMDeviceConfig",
+    "program_conductances",
+    "quantize_conductances",
     "HardwareMappedNetwork",
     "HardwareProfile",
     "HardwareStreamState",
@@ -54,6 +64,9 @@ __all__ = [
     "estimate_power",
     "QuantizationConfig",
     "conductances_to_weights",
+    "fake_quantize",
     "quantize_weights",
+    "resolve_weight_scale",
+    "sample_programmed_weights",
     "weights_to_conductances",
 ]

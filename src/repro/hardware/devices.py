@@ -23,7 +23,8 @@ import numpy as np
 from ..common.config import BaseConfig
 from ..common.rng import RandomState, as_random_state
 
-__all__ = ["RRAMDeviceConfig", "RRAMCellArray"]
+__all__ = ["RRAMDeviceConfig", "RRAMCellArray", "quantize_conductances",
+           "program_conductances"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,6 +74,68 @@ class RRAMDeviceConfig(BaseConfig):
         return np.linspace(self.g_min, self.g_max, self.levels)
 
 
+def quantize_conductances(conductances: np.ndarray,
+                          config: RRAMDeviceConfig) -> np.ndarray:
+    """Snap target conductances to the device's programmable ladder.
+
+    This is **the** k-bit grid of the hardware path: every consumer —
+    :meth:`RRAMCellArray.quantize_targets` at map time, the trainer's
+    fake-quant forward at train time
+    (:func:`repro.hardware.quantization.fake_quantize`) — calls this one
+    function, so the two grids cannot drift apart.
+    """
+    cfg = config
+    conductances = np.clip(conductances, cfg.g_min, cfg.g_max)
+    step = (cfg.g_max - cfg.g_min) / (cfg.levels - 1)
+    indices = np.round((conductances - cfg.g_min) / step)
+    return cfg.g_min + indices * step
+
+
+def program_conductances(conductances: np.ndarray,
+                         config: RRAMDeviceConfig,
+                         rng: RandomState | None = None,
+                         quantize: bool = True,
+                         targets: np.ndarray | None = None) -> np.ndarray:
+    """One simulated programming: ladder snap, variation, clip, faults.
+
+    The single source of truth for "what conductances does a programming
+    pass actually achieve":
+
+    * ``quantize`` snaps the targets to the :func:`quantize_conductances`
+      ladder (else they are only clipped to the window);
+    * with ``rng`` and ``config.variation > 0`` the achieved *resistance*
+      deviates by a multiplicative lognormal factor (conductance divided
+      by it), clipped back into the physical window;
+    * with ``rng`` and ``config.stuck_at_rate > 0`` a random subset of
+      cells is stuck at one end of the window.
+
+    ``rng=None`` is the noise-free programming — the pure quantization
+    grid.  :meth:`RRAMCellArray.program` delegates its math here, so a
+    caller passing the array's own rng stream reproduces the array's
+    programming bitwise.  ``targets`` short-circuits the snap/clip when
+    the caller already computed the programming targets (``quantize`` is
+    then ignored) — the array avoids running the ladder snap twice.
+    """
+    cfg = config
+    if targets is not None:
+        target = targets
+    else:
+        conductances = np.asarray(conductances, dtype=np.float64)
+        target = quantize_conductances(conductances, cfg) if quantize \
+            else np.clip(conductances, cfg.g_min, cfg.g_max)
+    achieved = target
+    if rng is not None and cfg.variation > 0:
+        factor = rng.lognormal(0.0, cfg.variation, target.shape)
+        achieved = target / factor
+    achieved = np.clip(achieved, cfg.g_min, cfg.g_max)
+    if rng is not None and cfg.stuck_at_rate > 0:
+        faulty = rng.random(target.shape) < cfg.stuck_at_rate
+        stuck_low = rng.random(target.shape) < 0.5
+        achieved = np.where(
+            faulty, np.where(stuck_low, cfg.g_min, cfg.g_max), achieved)
+    return achieved
+
+
 class RRAMCellArray:
     """An array of memristor cells with programming and read semantics.
 
@@ -107,12 +170,9 @@ class RRAMCellArray:
         return self._achieved is not None
 
     def quantize_targets(self, conductances: np.ndarray) -> np.ndarray:
-        """Snap target conductances to the nearest programmable level."""
-        cfg = self.config
-        conductances = np.clip(conductances, cfg.g_min, cfg.g_max)
-        step = (cfg.g_max - cfg.g_min) / (cfg.levels - 1)
-        indices = np.round((conductances - cfg.g_min) / step)
-        return cfg.g_min + indices * step
+        """Snap target conductances to the nearest programmable level
+        (delegates to the shared :func:`quantize_conductances` grid)."""
+        return quantize_conductances(conductances, self.config)
 
     def program(self, conductances: np.ndarray,
                 quantize: bool = True) -> np.ndarray:
@@ -122,7 +182,9 @@ class RRAMCellArray:
         resistance is ``R_target * exp(N(0, sigma))`` with
         ``sigma = variation`` (lognormal, mean-one in log-space), i.e.
         conductance is divided by that factor.  Achieved values are clipped
-        to the physical window.
+        to the physical window.  The math is the shared
+        :func:`program_conductances` (one noise model for arrays and for
+        the trainer's per-step device-noise injection).
         """
         conductances = np.asarray(conductances, dtype=np.float64)
         if conductances.shape != self.shape:
@@ -132,16 +194,8 @@ class RRAMCellArray:
         cfg = self.config
         target = self.quantize_targets(conductances) if quantize \
             else np.clip(conductances, cfg.g_min, cfg.g_max)
-        achieved = target
-        if cfg.variation > 0:
-            factor = self.rng.lognormal(0.0, cfg.variation, self.shape)
-            achieved = target / factor
-        achieved = np.clip(achieved, cfg.g_min, cfg.g_max)
-        if cfg.stuck_at_rate > 0:
-            faulty = self.rng.random(self.shape) < cfg.stuck_at_rate
-            stuck_low = self.rng.random(self.shape) < 0.5
-            achieved = np.where(
-                faulty, np.where(stuck_low, cfg.g_min, cfg.g_max), achieved)
+        achieved = program_conductances(conductances, cfg, rng=self.rng,
+                                        targets=target)
         self._target = target
         self._achieved = achieved
         self.version += 1

@@ -86,23 +86,30 @@ def shard_slices(n: int, n_shards: int) -> list[slice]:
 
 def shard_grads(network, loss, inputs: np.ndarray, targets: np.ndarray,
                 mode: str = "exact", engine: str = "fused",
-                precision: str | None = None, ws=None):
+                precision: str | None = None, ws=None, weights=None):
     """Forward + loss + BPTT on one shard.
 
     Returns ``(loss_value, shard_size, weight_grads)``.  This is the unit
     of work a pool worker executes; the serial path calls it in-process so
     both paths share every arithmetic operation.  When ``ws`` is given the
     recorded traces are recycled into the workspace before returning.
+
+    ``weights`` (optional per-layer overrides) runs the forward **and**
+    the backward through substituted weight matrices — the
+    straight-through-estimator step of hardware-aware training: the
+    returned gradients are with respect to the override values and are
+    applied to the master weights unchanged.  Fused engine only.
     """
     from ..core.backprop import backward
 
     outputs, record = network.run(inputs, record=True, engine=engine,
-                                  precision=precision, workspace=ws)
+                                  precision=precision, workspace=ws,
+                                  weights=weights)
     loss_value, grad_outputs = loss.value_and_grad(outputs, targets)
     backward_engine = "fused" if engine == "fused" else "reference"
     result = backward(network, record, grad_outputs, mode=mode,
                       engine=backward_engine, precision=precision,
-                      workspace=ws, need_input_grad=False)
+                      workspace=ws, need_input_grad=False, weights=weights)
     if ws is not None:
         for layer_record in record.layers:
             ws.release(layer_record.k, layer_record.v, layer_record.spikes)
@@ -134,7 +141,8 @@ def combine_shard_results(shard_results, n_total: int):
 def data_parallel_grads(network, loss, inputs: np.ndarray,
                         targets: np.ndarray, n_shards: int,
                         mode: str = "exact", engine: str = "fused",
-                        precision: str | None = None, pool=None, ws=None):
+                        precision: str | None = None, pool=None, ws=None,
+                        weights=None):
     """Mini-batch loss + weight gradients via ``n_shards`` data shards.
 
     ``pool=None`` executes the shards serially in-process (the reference
@@ -142,16 +150,23 @@ def data_parallel_grads(network, loss, inputs: np.ndarray,
     :class:`~repro.runtime.pool.WorkerPool` executes them concurrently.
     Returns ``(loss_value, weight_grads)`` with the same semantics as the
     full-batch ``loss.value_and_grad`` + ``backward`` pair.
+
+    ``weights`` substitutes the per-layer weight matrices of every shard's
+    forward/backward (hardware-aware training).  The pooled path stages
+    the override into the shared-memory weight block for the dispatch, so
+    workers compute exactly the serial override arithmetic.
     """
     n = int(inputs.shape[0])
     slices = shard_slices(n, n_shards)
     if pool is not None:
         shard_results = pool.grad_shards(inputs, targets, slices, mode=mode,
-                                         engine=engine, precision=precision)
+                                         engine=engine, precision=precision,
+                                         weights=weights)
     else:
         shard_results = [
             shard_grads(network, loss, inputs[sl], targets[sl], mode=mode,
-                        engine=engine, precision=precision, ws=ws)
+                        engine=engine, precision=precision, ws=ws,
+                        weights=weights)
             for sl in slices
         ]
     return combine_shard_results(shard_results, n)

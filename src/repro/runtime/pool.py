@@ -409,7 +409,7 @@ class WorkerPool:
             weight_shapes=shapes, loss=loss,
         )
 
-    def sync_weights(self) -> None:
+    def sync_weights(self, weights=None) -> None:
         """Memcpy the master network's current weights into shared memory.
 
         Every network-dispatch (:meth:`run_sharded`, :meth:`grad_shards`,
@@ -418,9 +418,20 @@ class WorkerPool:
         ``run_in_batches(pool=...)`` after further training) always
         computes with the master's current weights.  Workers observe the
         update on their next command (pipe delivery orders the accesses).
+
+        ``weights`` (optional per-layer arrays) stages an *override*
+        instead of the master weights — how a hardware-aware training
+        dispatch ships its quantized(+noisy) weights to the replicas.
+        The override lasts until the next dispatch re-syncs.
         """
-        for view, layer in zip(self._weight_views, self.network.layers):
-            np.copyto(view, layer.weight)
+        source = (weights if weights is not None
+                  else [layer.weight for layer in self.network.layers])
+        if len(source) != len(self._weight_views):
+            raise ValueError(
+                f"expected {len(self._weight_views)} weight arrays, "
+                f"got {len(source)}")
+        for view, weight in zip(self._weight_views, source):
+            np.copyto(view, weight)
 
     # -- message plumbing ---------------------------------------------------
     def _recv(self, index: int):
@@ -649,15 +660,23 @@ class WorkerPool:
 
     def grad_shards(self, inputs: np.ndarray, targets: np.ndarray,
                     slices: list[slice], mode: str = "exact",
-                    engine: str = "fused", precision=None):
+                    engine: str = "fused", precision=None, weights=None):
         """Run one gradient shard per worker; returns per-shard
-        ``(loss, n, grads)`` in shard order (the fixed reduction order)."""
+        ``(loss, n, grads)`` in shard order (the fixed reduction order).
+
+        ``weights`` stages per-layer override arrays into the shared
+        weight block for this dispatch (see :meth:`sync_weights`): the
+        workers then run forward *and* backward through the override —
+        the pooled execution of hardware-aware training's
+        straight-through estimator, bitwise-equal to the serial
+        ``shard_grads(..., weights=...)`` of the same shard split.
+        """
         from ..core.engine import resolve_precision
 
         if len(slices) > self.workers:
             raise ValueError(
                 f"{len(slices)} shards for {self.workers} workers")
-        self.sync_weights()
+        self.sync_weights(weights)
         dtype = resolve_precision(precision) or np.dtype(np.float64)
         # The reference backward always produces float64 gradients
         # regardless of the forward precision; only the fused engine

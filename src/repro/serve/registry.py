@@ -28,9 +28,11 @@ no pickling, no executable content.
 
 from __future__ import annotations
 
+import itertools
 import os
 import re
 import time
+import warnings
 
 from ..common.errors import SerializationError
 from ..common.serialization import (
@@ -46,6 +48,10 @@ __all__ = ["ModelRegistry"]
 _NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION = re.compile(r"^v(\d{4,})$")
 _HW_VERSION = re.compile(r"^hw(\d{4,})$")
+
+#: Per-process uniquifier for temp artifact stems (pid alone is not enough
+#: when one process saves concurrently from several threads).
+_TMP_IDS = itertools.count()
 
 
 class ModelRegistry:
@@ -97,8 +103,15 @@ class ModelRegistry:
             and _NAME.match(entry)
         )
 
-    def versions(self, name: str) -> list[str]:
-        """All versions of ``name``, oldest first (empty if unknown)."""
+    def _scan_versions(self, name: str) -> list[str]:
+        """Every ``vNNNN.npz`` stem present, complete or not, oldest first.
+
+        This is the *allocation* view: it includes other savers' in-flight
+        ``O_EXCL`` claims (empty files) and crash leftovers, so concurrent
+        version allocation always advances past them.  Listings also walk
+        it (and warn on the broken entries); :meth:`versions` filters it
+        down to loadable artifacts.
+        """
         directory = os.path.join(self.root, self._check_name(name))
         if not os.path.isdir(directory):
             return []
@@ -109,14 +122,31 @@ class ModelRegistry:
                 found.append(stem)
         return sorted(found, key=lambda v: int(v[1:]))
 
+    def versions(self, name: str) -> list[str]:
+        """All *complete* versions of ``name``, oldest first.
+
+        A version counts once its JSON sidecar exists — the sidecar is
+        replaced last in :meth:`save`, so its presence implies a complete
+        checkpoint.  In-flight claims and crashed saves are excluded,
+        which keeps :meth:`latest` (and therefore ``load(name)`` /
+        ``from_registry`` with no explicit version) from resolving to an
+        artifact that cannot be loaded.
+        """
+        complete = []
+        for version in self._scan_versions(name):
+            sidecar = os.path.splitext(self.path(name, version))[0] + ".json"
+            if os.path.exists(sidecar):
+                complete.append(version)
+        return complete
+
     def latest(self, name: str) -> str | None:
         """The newest version of ``name``, or ``None``."""
         versions = self.versions(name)
         return versions[-1] if versions else None
 
-    def profiles(self, name: str) -> list[str]:
-        """All hardware profiles of ``name``, oldest first (empty if
-        none)."""
+    def _scan_profiles(self, name: str) -> list[str]:
+        """Every ``hwNNNN.json`` stem present, complete or not (the
+        allocation/listing view — see :meth:`_scan_versions`)."""
         directory = os.path.join(self.root, self._check_name(name))
         if not os.path.isdir(directory):
             return []
@@ -127,24 +157,80 @@ class ModelRegistry:
                 found.append(stem)
         return sorted(found, key=lambda v: int(v[2:]))
 
+    def profiles(self, name: str) -> list[str]:
+        """All *complete* hardware profiles of ``name``, oldest first.
+
+        A profile artifact is a single JSON landed by an atomic
+        ``os.replace``, so the only incomplete state is another saver's
+        still-empty claim — excluded here so :meth:`latest_profile` /
+        ``load_profile(name)`` never resolve to it.  A file deleted
+        between the scan and the size probe (operator cleanup racing a
+        reader) counts as absent, not as an error.
+        """
+        return [profile for profile in self._scan_profiles(name)
+                if self._artifact_bytes(
+                    self.profile_path(name, profile)) > 0]
+
     def latest_profile(self, name: str) -> str | None:
         """The newest hardware profile of ``name``, or ``None``."""
         profiles = self.profiles(name)
         return profiles[-1] if profiles else None
+
+    @staticmethod
+    def _artifact_bytes(path: str) -> int:
+        """Size of an artifact file, ``-1`` if it vanished mid-scan.
+
+        Size 0 identifies another saver's in-flight ``O_EXCL`` claim — a
+        healthy transient, not a broken artifact: listings skip it
+        *silently* (warning would make normal concurrent saves look like
+        corruption, and crash under warnings-as-errors test setups).
+        """
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return -1
+
+    @staticmethod
+    def _read_sidecar(path: str, what: str) -> dict | None:
+        """Load one artifact's JSON, tolerating broken entries.
+
+        A missing or corrupt sidecar (an interrupted save's orphan, a
+        truncated file, a concurrent saver's still-empty claim) must not
+        take the whole listing down — ``from_registry`` discovery runs
+        over listings.  Broken entries are skipped with a warning naming
+        the path, so the operator can clean them up.
+        """
+        try:
+            return load_json(path)
+        except (SerializationError, ValueError) as exc:
+            warnings.warn(
+                f"registry: skipping {what} with missing/corrupt sidecar "
+                f"{path}: {exc}", RuntimeWarning, stacklevel=3)
+            return None
 
     def list(self, name: str | None = None) -> list[dict]:
         """Describe every checkpoint (of one model, or of all models).
 
         Reads only the JSON sidecars; each entry carries ``name``,
         ``version``, ``path``, the architecture summary and the user
-        metadata saved with the checkpoint.
+        metadata saved with the checkpoint.  A checkpoint whose sidecar
+        is missing or corrupt is skipped with a ``RuntimeWarning`` (one
+        bad artifact cannot break discovery); a concurrent saver's
+        still-empty claim is skipped silently (it is not broken — its
+        save is in flight).
         """
         names = [self._check_name(name)] if name is not None else self.models()
         entries = []
         for model in names:
-            for version in self.versions(model):
+            for version in self._scan_versions(model):
                 npz = self.path(model, version)
-                sidecar = load_json(os.path.splitext(npz)[0] + ".json")
+                if self._artifact_bytes(npz) <= 0:
+                    continue  # in-flight claim (or vanished): healthy
+                sidecar = self._read_sidecar(
+                    os.path.splitext(npz)[0] + ".json",
+                    f"checkpoint {model}:{version}")
+                if sidecar is None:
+                    continue
                 entries.append({
                     "name": model,
                     "version": version,
@@ -159,14 +245,21 @@ class ModelRegistry:
 
         Each entry carries ``name``, ``profile`` (the ``hwNNNN`` id),
         ``path``, the profile's config dict and the user metadata saved
-        with it.
+        with it.  Broken profile files are skipped with a
+        ``RuntimeWarning``, like :meth:`list` does for checkpoints;
+        in-flight claims (empty files) are skipped silently.
         """
         names = [self._check_name(name)] if name is not None else self.models()
         entries = []
         for model in names:
-            for profile in self.profiles(model):
+            for profile in self._scan_profiles(model):
                 path = self.profile_path(model, profile)
-                payload = load_json(path)
+                if self._artifact_bytes(path) <= 0:
+                    continue  # in-flight claim (or vanished): healthy
+                payload = self._read_sidecar(
+                    path, f"hardware profile {model}:{profile}")
+                if payload is None:
+                    continue
                 entries.append({
                     "name": model,
                     "profile": profile,
@@ -177,19 +270,66 @@ class ModelRegistry:
         return entries
 
     # -- save / load ---------------------------------------------------------
+    @staticmethod
+    def _claim(path: str) -> bool:
+        """Atomically create ``path`` empty (the ``O_EXCL`` version claim).
+
+        Returns False when another saver holds it already.  The claimed
+        file is what :meth:`versions` / :meth:`profiles` scan, so a claim
+        immediately reserves the id against concurrent allocators.
+        """
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _tmp_stem(self, name: str, kind: str) -> str:
+        """A per-call temp stem inside the model directory (same
+        filesystem, so ``os.replace`` onto the final name is atomic).
+        Invisible to the listings: neither ``vNNNN`` nor ``hwNNNN``
+        matches it."""
+        return os.path.join(
+            self.root, name,
+            f".tmp-{kind}-{os.getpid()}-{next(_TMP_IDS)}")
+
     def save(self, name: str, network, meta: dict | None = None) -> str:
         """Write ``network`` as the next version of ``name``; returns the
         version id (``"v0001"``-style).
 
         ``meta`` is user metadata stored in the sidecar (the registry adds
         ``saved_unix``).
+
+        Concurrency / crash safety: the artifact pair is first written to
+        a temp stem, then a version id is *claimed* by exclusive creation
+        of the final ``.npz`` (re-allocating on collision, so two
+        interleaved savers get distinct ids instead of overwriting each
+        other), and finally the temp files are ``os.replace``\\ d onto the
+        claimed names — archive first, sidecar last, so a complete
+        sidecar implies a complete checkpoint.  A crash mid-save leaves
+        only a temp pair or a sidecar-less claim; :meth:`versions` /
+        :meth:`latest` exclude those (so default loads still resolve the
+        newest *loadable* version) and :meth:`list` skips them with a
+        warning.
         """
         self._check_name(name)
-        latest = self.latest(name)
-        version = f"v{(int(latest[1:]) if latest else 0) + 1:04d}"
+        os.makedirs(os.path.join(self.root, name), exist_ok=True)
         meta = dict(meta or {})
         meta.setdefault("saved_unix", time.time())
-        save_checkpoint(self.path(name, version), network, meta=meta)
+        tmp_npz = save_checkpoint(self._tmp_stem(name, "ckpt"), network,
+                                  meta=meta)
+        tmp_sidecar = os.path.splitext(tmp_npz)[0] + ".json"
+        while True:
+            # Allocate past *every* scanned stem — including other
+            # savers' in-flight claims, which are not yet in versions().
+            scanned = self._scan_versions(name)
+            version = f"v{(int(scanned[-1][1:]) if scanned else 0) + 1:04d}"
+            final_npz = self.path(name, version)
+            if self._claim(final_npz):
+                break
+        os.replace(tmp_npz, final_npz)
+        os.replace(tmp_sidecar, os.path.splitext(final_npz)[0] + ".json")
         return version
 
     def load(self, name: str, version: str | None = None):
@@ -213,16 +353,44 @@ class ModelRegistry:
 
         Profiles version independently of checkpoints — map the same
         trained weights under several candidate device assumptions and
-        pick one at serve time.
+        pick one at serve time.  Same concurrency contract as
+        :meth:`save`: the id is claimed by exclusive creation (retried on
+        collision) and the payload lands via an atomic ``os.replace``;
+        the empty claim window is tolerated by :meth:`list_profiles`.
         """
         self._check_name(name)
-        latest = self.latest_profile(name)
-        version = f"hw{(int(latest[2:]) if latest else 0) + 1:04d}"
+        os.makedirs(os.path.join(self.root, name), exist_ok=True)
         meta = dict(meta or {})
         meta.setdefault("saved_unix", time.time())
-        save_hardware_profile(self.profile_path(name, version), profile,
-                              meta=meta)
+        tmp_json = save_hardware_profile(
+            self._tmp_stem(name, "hw") + ".json", profile, meta=meta)
+        while True:
+            scanned = self._scan_profiles(name)
+            version = f"hw{(int(scanned[-1][2:]) if scanned else 0) + 1:04d}"
+            final_json = self.profile_path(name, version)
+            if self._claim(final_json):
+                break
+        os.replace(tmp_json, final_json)
         return version
+
+    def save_pair(self, name: str, network, profile,
+                  meta: dict | None = None) -> tuple[str, str]:
+        """Save a co-trained ``(checkpoint, hardware profile)`` pair.
+
+        The one-call registry write of hardware-aware training: the
+        checkpoint and the :class:`~repro.hardware.mapped_network.
+        HardwareProfile` it was trained against land together, and the
+        profile's metadata records the checkpoint id under
+        ``"checkpoint"`` — :meth:`~repro.serve.server.ModelServer.
+        from_registry` with ``hardware_profile=True`` then cold-starts
+        exactly the pair that was co-trained, not whatever profile
+        happens to be newest.  Returns ``(version, profile_id)``.
+        """
+        meta = dict(meta or {})
+        version = self.save(name, network, meta=meta)
+        profile_id = self.save_profile(
+            name, profile, meta={**meta, "checkpoint": version})
+        return version, profile_id
 
     def load_profile(self, name: str, profile: str | None = None):
         """Rebuild ``(hardware_profile, meta)``.

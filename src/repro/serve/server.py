@@ -148,23 +148,42 @@ class ModelServer:
         :class:`~repro.serve.registry.ModelRegistry` checkpoint.
 
         ``hardware_profile`` additionally loads a versioned hardware
-        profile (``"hw0001"``-style id, or ``True`` for the latest) and
-        maps the checkpoint onto crossbars under it — the hardware-in-
-        the-loop cold start.  Combine with ``shadow=True`` to serve the
-        ideal model while canarying the realization.
+        profile (``"hw0001"``-style id, or ``True`` for an automatic
+        pick) and maps the checkpoint onto crossbars under it — the
+        hardware-in-the-loop cold start.  ``True`` prefers the profile
+        **co-saved with the chosen checkpoint**
+        (:meth:`~repro.serve.registry.ModelRegistry.save_pair` records
+        the link in the profile metadata), so a hardware-aware training
+        run cold-starts as exactly the (weights, crossbar recipe) pair it
+        optimised; without a linked profile the newest one is used.
+        Combine with ``shadow=True`` to serve the ideal model while
+        canarying the realization.
         """
+        # Resolve the version once, up front: re-reading latest() after
+        # the load could observe a concurrent save and pair the loaded
+        # weights with another checkpoint's linked profile (or stamp the
+        # wrong model_version on the server).
+        version = version or registry.latest(name)
         network, meta = registry.load(name, version)
         hardware = None
         profile_id = None
         if hardware_profile is not None and hardware_profile is not False:
-            profile_id = (None if hardware_profile is True
-                          else hardware_profile)
+            if hardware_profile is True:
+                for entry in registry.list_profiles(name):
+                    # Keep the newest profile linked to this checkpoint.
+                    if entry["meta"].get("checkpoint") == version:
+                        profile_id = entry["profile"]
+                # No linked profile: fall back to the newest one —
+                # resolved once, like version above, so the id stamped
+                # on the server is the profile actually loaded.
+                profile_id = profile_id or registry.latest_profile(name)
+            else:
+                profile_id = hardware_profile
             profile, _ = registry.load_profile(name, profile_id)
-            profile_id = profile_id or registry.latest_profile(name)
             hardware = profile.build(network)
         server = cls(network, hardware=hardware, **kwargs)
         server.model_name = name
-        server.model_version = version or registry.latest(name)
+        server.model_version = version
         server.model_profile = profile_id
         server.model_meta = meta
         return server

@@ -1,0 +1,216 @@
+"""Registry concurrency & robustness regressions (ISSUE 5 satellites).
+
+Pinned here:
+
+* ``save`` / ``save_profile`` allocate ids with an ``O_EXCL`` claim and
+  land artifacts via temp-file + ``os.replace`` — two interleaved savers
+  can never collide on a version, and a crash mid-save leaves nothing a
+  reader mistakes for a complete artifact;
+* ``list`` / ``list_profiles`` tolerate broken entries (orphan ``.npz``
+  without a sidecar, corrupt/empty JSON) by skipping them with a
+  ``RuntimeWarning`` that names the path — one bad artifact cannot take
+  down ``from_registry`` discovery.
+"""
+
+import json
+import os
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import SpikingNetwork
+from repro.hardware import HardwareProfile
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(str(tmp_path))
+
+
+@pytest.fixture
+def network():
+    return SpikingNetwork((8, 6, 3), rng=0)
+
+
+class TestAtomicSave:
+    def test_interleaved_savers_get_distinct_versions(self, registry,
+                                                      network):
+        """Two threads saving concurrently never collide on a version and
+        every saved artifact is complete (npz + sidecar)."""
+        errors = []
+
+        def saver():
+            try:
+                for _ in range(6):
+                    registry.save("m", network)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=saver) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        versions = registry.versions("m")
+        assert len(versions) == 18
+        assert len(set(versions)) == 18
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # every entry must be intact
+            assert len(registry.list("m")) == 18
+
+    def test_interleaved_profile_savers(self, registry):
+        errors = []
+        profile = HardwareProfile.create(bits=4, variation=0.1, seed=1)
+
+        def saver():
+            try:
+                for _ in range(5):
+                    registry.save_profile("m", profile)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=saver) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        profiles = registry.profiles("m")
+        assert len(profiles) == 10 and len(set(profiles)) == 10
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(registry.list_profiles("m")) == 10
+
+    def test_claimed_version_is_skipped_by_allocation(self, registry,
+                                                      network):
+        """A concurrent saver's claim (empty npz) pushes the next
+        allocation past it instead of overwriting it."""
+        registry.save("m", network)
+        claim = registry.path("m", "v0002")
+        open(claim, "wb").close()  # someone else's in-flight claim
+        assert registry.save("m", network) == "v0003"
+        # The claim was never touched.
+        assert os.path.getsize(claim) == 0
+
+    def test_latest_skips_incomplete_claims(self, registry, network):
+        """Default loads must never resolve to an in-flight claim or a
+        sidecar-less crash leftover (regression: latest() counted them
+        and load(name) crashed on the 0-byte npz) — while allocation
+        still advances past them."""
+        import shutil
+
+        registry.save("m", network)
+        open(registry.path("m", "v0002"), "wb").close()  # empty claim
+        # A real npz whose save crashed before the sidecar landed.
+        shutil.copy(registry.path("m", "v0001"), registry.path("m", "v0003"))
+        assert registry.latest("m") == "v0001"
+        rebuilt, _ = registry.load("m")  # version=None -> latest loadable
+        assert rebuilt.sizes == network.sizes
+        assert registry.save("m", network) == "v0004"
+
+    def test_latest_profile_skips_empty_claim(self, registry):
+        registry.save_profile("m", HardwareProfile.create(bits=4, seed=0))
+        open(registry.profile_path("m", "hw0002"), "w").close()
+        assert registry.latest_profile("m") == "hw0001"
+        profile, _ = registry.load_profile("m")  # profile=None -> latest
+        assert profile.bits == 4
+        assert registry.save_profile(
+            "m", HardwareProfile.create(bits=5, seed=1)) == "hw0003"
+
+    def test_save_is_complete_after_return(self, registry, network):
+        version = registry.save("m", network, meta={"tag": "x"})
+        npz = registry.path("m", version)
+        sidecar = os.path.splitext(npz)[0] + ".json"
+        assert os.path.getsize(npz) > 0
+        payload = json.load(open(sidecar))
+        assert payload["meta"]["tag"] == "x"
+        assert "saved_unix" in payload["meta"]
+        rebuilt, meta = registry.load("m", version)
+        assert rebuilt.sizes == network.sizes
+        for a, b in zip(rebuilt.weights, network.weights):
+            np.testing.assert_array_equal(a, b)
+
+    def test_temp_files_are_invisible(self, registry, network):
+        """Leftovers of a crashed save (temp stems) never appear in
+        versions/listings."""
+        registry.save("m", network)
+        directory = os.path.join(registry.root, "m")
+        open(os.path.join(directory, ".tmp-ckpt-999-7.npz"), "wb").close()
+        open(os.path.join(directory, ".tmp-hw-999-8.json"), "w").close()
+        assert registry.versions("m") == ["v0001"]
+        assert registry.profiles("m") == []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(registry.list("m")) == 1
+
+
+class TestRobustListing:
+    def test_orphan_npz_is_skipped_with_warning(self, registry, network):
+        """An interrupted save's orphan .npz (real content, no sidecar)
+        cannot break the listing (regression: SerializationError took
+        down the whole list())."""
+        import shutil
+
+        registry.save("m", network)
+        # Crash-after-npz-replace leftover: complete archive, no sidecar.
+        shutil.copy(registry.path("m", "v0001"), registry.path("m", "v0007"))
+        with pytest.warns(RuntimeWarning, match="v0007"):
+            entries = registry.list("m")
+        assert [entry["version"] for entry in entries] == ["v0001"]
+
+    def test_inflight_claim_is_skipped_silently(self, registry, network):
+        """Another saver's O_EXCL claim (empty file) is a healthy
+        transient — listings must skip it WITHOUT warning (warnings-as-
+        errors discovery would otherwise die on normal concurrency)."""
+        registry.save("m", network)
+        open(registry.path("m", "v0002"), "wb").close()
+        open(registry.profile_path("m", "hw0001"), "w").close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert [e["version"] for e in registry.list("m")] == ["v0001"]
+            assert registry.list_profiles("m") == []
+
+    def test_corrupt_sidecar_is_skipped_with_warning(self, registry,
+                                                     network):
+        registry.save("m", network)
+        registry.save("m", network)
+        sidecar = os.path.splitext(registry.path("m", "v0001"))[0] + ".json"
+        with open(sidecar, "w") as handle:
+            handle.write("{not json")
+        with pytest.warns(RuntimeWarning, match="v0001"):
+            entries = registry.list()
+        assert [entry["version"] for entry in entries] == ["v0002"]
+
+    def test_corrupt_profile_is_skipped_with_warning(self, registry):
+        profile = HardwareProfile.create(bits=4, seed=0)
+        registry.save_profile("m", profile)
+        with open(registry.profile_path("m", "hw0005"), "w") as handle:
+            handle.write("{broken json")
+        with pytest.warns(RuntimeWarning, match="hw0005"):
+            entries = registry.list_profiles("m")
+        assert [entry["profile"] for entry in entries] == ["hw0001"]
+
+    def test_discovery_survives_broken_entries(self, registry, network):
+        """from_registry-style discovery (list + load latest) works with
+        a broken artifact in the directory."""
+        from repro.serve import ModelServer
+
+        registry.save("m", network)
+        open(registry.path("m", "v0002"), "wb").close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            server = ModelServer.from_registry(registry, "m",
+                                               version="v0001")
+        assert server.model_version == "v0001"
+
+    def test_intact_listing_warns_nothing(self, registry, network):
+        registry.save("m", network)
+        registry.save_profile("m", HardwareProfile.create(bits=4, seed=0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(registry.list()) == 1
+            assert len(registry.list_profiles()) == 1

@@ -4,17 +4,21 @@
 Two modes sharing one CLI:
 
 * default — times the repo's hot paths (forward, backward, the full
-  training step and the Fig. 8 variation sweep) for the serial fused
-  engine and for the parallel runtime at each requested worker count,
-  then writes ``BENCH_throughput.json`` so the performance trajectory of
-  the project is diffable from PR to PR;
+  training step — ideal and hardware-aware — and the Fig. 8 variation
+  sweep) for the serial fused engine and for the parallel runtime at each
+  requested worker count, then writes ``BENCH_throughput.json`` so the
+  performance trajectory of the project is diffable from PR to PR;
 * ``--serving`` — drives the open-loop serving benchmark
   (``benchmarks/bench_serving.py``: Poisson arrivals through the
   micro-batching :class:`repro.serve.ModelServer`) and writes
   ``BENCH_serving.json`` with throughput_rps and p50/p95/p99 latency per
   offered load — for the ideal model, the crossbar-mapped hardware
   realization, and the shadow (ideal + hardware, with per-chunk output
-  divergence) configurations side by side.
+  divergence) configurations side by side;
+* ``--aware`` — only the hardware-aware train-step rows (ideal vs
+  straight-through fake-quant vs fake-quant + per-step programming
+  noise, 4-bit / 10 % variation) into ``BENCH_aware.json`` — the
+  ``make bench-aware`` entry point.
 
 The shapes match ``benchmarks/bench_throughput.py`` and
 ``docs/performance.md``: batch 32 (forward/backward) and batch 64
@@ -117,17 +121,53 @@ def bench_backward(rounds: int) -> dict:
     }
 
 
-def bench_train_step(rounds: int, workers: int) -> dict:
+def bench_train_step(rounds: int, workers: int, hardware=None) -> dict:
     net = bench_network(seed=2)
     x = bench_inputs(TRAIN_BATCH, seed=3)
     labels = np.arange(TRAIN_BATCH) % SIZES[-1]
     trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
         epochs=1, batch_size=TRAIN_BATCH, learning_rate=1e-4,
-        optimizer="adamw", workers=workers))
+        optimizer="adamw", workers=workers, hardware=hardware))
     try:
         return _time(lambda: trainer.train_batch(x, labels), rounds)
     finally:
         trainer.close()
+
+
+#: The Fig. 8 operating point the hardware-aware rows are measured at.
+AWARE_BITS = 4
+AWARE_VARIATION = 0.1
+
+
+def _aware_profile(variation: float):
+    from repro.hardware import HardwareProfile
+
+    return HardwareProfile.create(bits=AWARE_BITS, variation=variation,
+                                  seed=13)
+
+
+def bench_train_step_aware(rounds: int, ideal: dict | None = None) -> dict:
+    """Hardware-aware train-step cost rows (serial, paper shapes).
+
+    ``ideal`` is the plain fused step (pass an already-measured row —
+    e.g. the worker loop's ``serial`` — to avoid re-timing it);
+    ``hardware_aware`` adds the straight-through fake-quant override
+    (map-time grid, no noise); ``hardware_aware_noise`` additionally
+    samples one programming-variation draw per step (the full Fig. 8
+    operating-point training mode).  ``overhead_*`` are mean-time ratios
+    against ``ideal``.
+    """
+    rows = {
+        "ideal": ideal if ideal is not None else bench_train_step(rounds, 0),
+        "hardware_aware": bench_train_step(
+            rounds, 0, hardware=_aware_profile(0.0)),
+        "hardware_aware_noise": bench_train_step(
+            rounds, 0, hardware=_aware_profile(AWARE_VARIATION)),
+    }
+    base = rows["ideal"]["mean_ms"]
+    for key in ("hardware_aware", "hardware_aware_noise"):
+        rows[f"overhead_{key}"] = round(rows[key]["mean_ms"] / base, 3)
+    return rows
 
 
 def bench_inference(rounds: int, workers: int) -> dict:
@@ -194,6 +234,33 @@ def serving_main(out_path: str) -> int:
     return 0
 
 
+def aware_main(out_path: str, rounds: int) -> int:
+    """``--aware`` mode: hardware-aware train-step cost -> BENCH_aware.json.
+
+    The quick ``make bench-aware`` entry point: only the train-step rows
+    (ideal vs quantize vs quantize+noise), so the overhead of closing the
+    codesign loop is measurable in seconds rather than the full grid.
+    """
+    report = {
+        "meta": {
+            **_environment_meta(),
+            "shapes": {"sizes": list(SIZES), "steps": STEPS,
+                       "train_batch": TRAIN_BATCH},
+            "operating_point": {"bits": AWARE_BITS,
+                                "variation": AWARE_VARIATION},
+        },
+        "train_step": bench_train_step_aware(rounds),
+    }
+    rows = report["train_step"]
+    for key in ("ideal", "hardware_aware", "hardware_aware_noise"):
+        print(f"train step [{key}]: {rows[key]['mean_ms']} ms mean")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None)
@@ -204,9 +271,14 @@ def main(argv=None) -> int:
     parser.add_argument("--serving", action="store_true",
                         help="run the open-loop serving benchmark instead "
                              "(writes BENCH_serving.json by default)")
+    parser.add_argument("--aware", action="store_true",
+                        help="run only the hardware-aware train-step rows "
+                             "(writes BENCH_aware.json by default)")
     args = parser.parse_args(argv)
     if args.serving:
         return serving_main(args.out or "BENCH_serving.json")
+    if args.aware:
+        return aware_main(args.out or "BENCH_aware.json", args.rounds)
     out_path = args.out or "BENCH_throughput.json"
     worker_counts = [int(w) for w in args.workers.split(",") if w != ""]
     rounds = args.rounds
@@ -239,6 +311,10 @@ def main(argv=None) -> int:
             max(rounds // 3, 2), workers)
         print(f"train step [{label}]: "
               f"{report['train_step'][label]['mean_ms']} ms mean")
+    # The aware rows reuse the serial ideal measurement when the loop
+    # above produced one (workers=0 requested), instead of re-timing it.
+    report["train_step_hardware_aware"] = bench_train_step_aware(
+        rounds, ideal=report["train_step"].get("serial"))
 
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
