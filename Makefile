@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-aware bench-paper docs quickstart serve-demo
+.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -27,6 +27,14 @@ bench-serving:
 ## hardware-aware train-step cost (ideal vs quantize vs quantize+noise)
 bench-aware:
 	$(PYTHON) tools/bench_to_json.py --aware --out BENCH_aware.json
+
+## full scenario grid -> run_table.csv + every BENCH_*.json view of it
+bench-table:
+	$(PYTHON) -m repro.experiments harness full --table run_table.csv --bench-json
+
+## seconds-scale scenario grid (the CI harness-smoke job)
+bench-smoke:
+	$(PYTHON) -m repro.experiments harness smoke --table run_table.csv
 
 ## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
 bench-paper:

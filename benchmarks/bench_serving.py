@@ -1,38 +1,34 @@
 """Serving benchmark: open-loop arrivals through the micro-batching server.
 
-Drives synthetic Poisson request streams (``repro.serve.loadgen``) through
-a resident :class:`~repro.serve.server.ModelServer` on the repo's standard
-benchmark shape (700-128-128-20 adaptive MLP, ``repro.common.benchcfg``)
-and reports the serving metrics the offline benchmarks cannot measure:
-**throughput_rps** and **p50/p95/p99 arrival-to-answer latency** per
-offered load.
+Since the scenario harness landed (:mod:`repro.experiments.harness`,
+``docs/experiments.md``) this file is a *thin scenario definition*: the
+grid below (4 server configs x 3 offered loads on the repo's standard
+700-128-128-20 shape) is expanded and executed by the harness, and the
+reported dicts are views of the resulting run-table rows
+(:func:`repro.experiments.benchjson.serving_row_to_report`).  The
+canonical definition of the grid is
+:func:`repro.experiments.harness.serving_scenarios`; this module keeps
+the historical entry points alive:
+
+* run standalone (prints a table)::
+
+      PYTHONPATH=src python benchmarks/bench_serving.py
+
+* ``make bench-serving`` / ``tools/bench_to_json.py --serving`` write
+  ``BENCH_serving.json``;
+* named explicitly to pytest (``pytest benchmarks/bench_serving.py``) it
+  runs reduced smoke scenarios only; the tier-1 hardware/shadow serving
+  coverage lives in ``tests/unit/test_serve.py``.
 
 Configurations cover the ideal model (both precisions) *and* the
 hardware realization side by side: ``hardware_float64`` serves a
-4-bit/10%-variation crossbar mapping of the same network through the
-engine's weight-override hook (same kernels — the cost delta is the
-honest price of hardware-in-the-loop serving, expected ~zero), and
-``shadow_float64`` runs ideal + hardware on every stream (expected ~2x
-tick compute) while recording the mean per-chunk output divergence.
-
-Three load points per engine configuration:
-
-* ``light``  — well under capacity: latency is dominated by the
-  ``max_wait_ms`` coalescing window (the latency floor);
-* ``heavy``  — near capacity: ticks run back-to-back at high occupancy
-  (the throughput plateau);
-* ``overload`` — offered load beyond capacity: the bounded queue rejects
-  (backpressure) instead of growing latency without bound.
-
-Run standalone (prints a table)::
-
-    PYTHONPATH=src python benchmarks/bench_serving.py
-
-or via ``make bench-serving`` / ``tools/bench_to_json.py --serving`` to
-write ``BENCH_serving.json``.  Named explicitly to pytest
-(``pytest benchmarks/bench_serving.py``) it runs reduced smoke scenarios
-only; the tier-1 hardware/shadow serving coverage lives in
-``tests/unit/test_serve.py``.
+4-bit/10%-variation crossbar mapping through the engine's weight
+override, and ``shadow_float64`` runs ideal + hardware on every stream
+while recording the mean per-chunk output divergence.  The three load
+points per configuration bracket the measured 1-core capacity: ``light``
+(latency floor), ``heavy`` (throughput plateau), ``overload``
+(backpressure — the bounded queue rejects instead of growing latency
+without bound).
 """
 
 from __future__ import annotations
@@ -42,18 +38,15 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.common.benchcfg import BENCH_SIZES, BENCH_SPIKE_DENSITY, bench_network
-from repro.hardware import HardwareProfile
-from repro.serve import ModelServer
-from repro.serve.loadgen import open_loop
+from repro.common.benchcfg import BENCH_SIZES, BENCH_SPIKE_DENSITY
+from repro.experiments import benchjson
+from repro.experiments.harness import SERVING_LOADS, run_scenario
+from repro.experiments.scenario import HardwareSpec, Scenario
 
-#: Offered-load scenarios (chunks/s).  Rates bracket the measured 1-core
-#: capacity of the standard shape (~6k chunks/s at chunk_steps=10,
-#: max_batch=16 — see docs/serving.md for the measured table).
+#: Offered-load scenarios (chunks/s) — the canonical harness load points.
 SCENARIOS = [
-    {"id": "light", "rate_rps": 300.0, "requests": 300},
-    {"id": "heavy", "rate_rps": 4000.0, "requests": 800},
-    {"id": "overload", "rate_rps": 20000.0, "requests": 1200},
+    {"id": load.id, "rate_rps": load.rate_rps, "requests": load.requests}
+    for load in SERVING_LOADS
 ]
 
 #: Hardware realization served by the hardware-backed configurations
@@ -81,26 +74,26 @@ QUEUE_LIMIT = 128
 
 def serve_scenario(config: dict, scenario: dict, sessions: int = SESSIONS,
                    chunk_steps: int = CHUNK_STEPS) -> dict:
-    """One (server config, load point) measurement; returns the report dict."""
-    network = bench_network()
-    hardware = None
+    """One (server config, load point) measurement; returns the report dict.
+
+    Builds a single-cell harness scenario and converts its run-table row
+    back to the historical ``ServingReport.to_dict`` shape.
+    """
+    hardware = (None,)
     if config.get("hardware"):
-        hardware = HardwareProfile.create(**config["hardware"]).build(network)
-    server = ModelServer(
-        network, engine=config["engine"],
-        precision=config["precision"], max_batch=MAX_BATCH,
+        hardware = (HardwareSpec(**config["hardware"],
+                                 shadow=bool(config.get("shadow"))),)
+    cell = Scenario(
+        name=f"serving-{config['id']}", kind="serving",
+        engines=(config["engine"],), precisions=(config["precision"],),
+        hardware=hardware, workloads=("synthetic",),
+        loads=(dict(scenario),), sessions=sessions,
+        chunk_steps=chunk_steps, max_batch=MAX_BATCH,
         max_wait_ms=MAX_WAIT_MS, queue_limit=QUEUE_LIMIT,
-        hardware=hardware, shadow=config.get("shadow", False),
+        spike_density=BENCH_SPIKE_DENSITY, seed=7,
     )
-    try:
-        report = open_loop(
-            server, sessions=sessions, requests=scenario["requests"],
-            chunk_steps=chunk_steps, rate_rps=scenario["rate_rps"],
-            spike_density=BENCH_SPIKE_DENSITY, rng=7,
-        )
-    finally:
-        server.close()
-    return report.to_dict()
+    table = run_scenario(cell)
+    return benchjson.serving_row_to_report(table.rows[0])
 
 
 def run_serving_bench(scenarios=None, configs=None) -> dict:
@@ -133,18 +126,9 @@ def _render_row(row: dict) -> str:
 
 
 def serving_meta() -> dict:
-    return {
-        "sizes": list(BENCH_SIZES),
-        "sessions": SESSIONS,
-        "chunk_steps": CHUNK_STEPS,
-        "max_batch": MAX_BATCH,
-        "max_wait_ms": MAX_WAIT_MS,
-        "queue_limit": QUEUE_LIMIT,
-        "spike_density": BENCH_SPIKE_DENSITY,
-        "hardware_profile": dict(HW_PROFILE),
-        "arrivals": "poisson open-loop, virtual arrival clock + measured "
-                    "tick compute (see repro/serve/loadgen.py)",
-    }
+    meta = benchjson.serving_workload_meta()
+    assert meta["sizes"] == list(BENCH_SIZES)
+    return meta
 
 
 # -- pytest entry point (reduced scale) -------------------------------------

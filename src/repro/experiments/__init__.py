@@ -1,8 +1,12 @@
-"""Experiment registry and CLI: one runner per table/figure of the paper."""
+"""Experiment registry and CLI: one runner per table/figure of the paper,
+plus the declarative scenario harness that fills the single run-table
+artifact (``docs/experiments.md``)."""
 
+from .harness import PRESETS, preset_scenarios, run_scenario, run_scenarios
 from .paperconfig import PAPER_CONFIG, PaperConfig, table1
 from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
 from .runners import ExperimentResult, resolve_profile
+from .scenario import HardwareSpec, LoadSpec, RunSpec, Scenario, expand
 
 __all__ = [
     "PAPER_CONFIG",
@@ -14,4 +18,13 @@ __all__ = [
     "run_experiment",
     "ExperimentResult",
     "resolve_profile",
+    "PRESETS",
+    "preset_scenarios",
+    "run_scenario",
+    "run_scenarios",
+    "HardwareSpec",
+    "LoadSpec",
+    "RunSpec",
+    "Scenario",
+    "expand",
 ]

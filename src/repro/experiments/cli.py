@@ -6,6 +6,8 @@ Usage::
     repro-exp run fig7             # run one experiment, print its report
     repro-exp run table2-shd --profile full
     repro-exp run-all              # run everything (CI profile)
+    repro-exp harness smoke        # scenario grid -> run_table.csv
+    repro-exp harness full --bench-json   # + regenerate BENCH_*.json
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import argparse
 import sys
 import time
 
+from .harness import PRESETS
 from .registry import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
@@ -37,6 +40,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--profile", choices=["ci", "full"], default=None)
+
+    harness = sub.add_parser(
+        "harness",
+        help="run a declarative scenario preset into one run table")
+    harness.add_argument("preset", choices=sorted(PRESETS),
+                         help="scenario grid to expand and execute "
+                              "(see docs/experiments.md)")
+    harness.add_argument("--table", default="run_table.csv",
+                         help="run-table CSV output path "
+                              "(default: run_table.csv)")
+    harness.add_argument("--bench-json", action="store_true",
+                         help="also regenerate the BENCH_*.json views "
+                              "this table has rows for")
     return parser
 
 
@@ -63,6 +79,34 @@ def main(argv: list[str] | None = None) -> int:
             print("=" * 78)
             print(result.render())
             print(f"[{experiment_id}: {time.perf_counter() - started:.1f}s]")
+        return 0
+    if args.command == "harness":
+        from .harness import preset_scenarios, run_scenarios
+
+        started = time.perf_counter()
+        table = run_scenarios(preset_scenarios(args.preset), log=print)
+        table.write_csv(args.table)
+        print(f"wrote {args.table} ({len(table)} rows, "
+              f"{time.perf_counter() - started:.1f}s)")
+        if args.bench_json:
+            from ..common.errors import ExperimentError
+            from . import benchjson
+
+            for out_path, convert in (
+                    ("BENCH_throughput.json", benchjson.throughput_report),
+                    ("BENCH_serving.json", benchjson.serving_report),
+                    ("BENCH_aware.json", benchjson.aware_report)):
+                try:
+                    report = convert(table)
+                except ExperimentError as error:
+                    print(f"skip {out_path}: {error}")
+                    continue
+                import json
+
+                with open(out_path, "w") as handle:
+                    json.dump(report, handle, indent=2, sort_keys=False)
+                    handle.write("\n")
+                print(f"wrote {out_path}")
         return 0
     return 2
 

@@ -26,10 +26,11 @@ from .parallel import (
     shard_grads,
     shard_slices,
 )
-from .pool import WorkerError, WorkerPool
+from .pool import PoolCache, WorkerError, WorkerPool
 from .workspace import Workspace
 
 __all__ = [
+    "PoolCache",
     "Workspace",
     "WorkerError",
     "WorkerPool",

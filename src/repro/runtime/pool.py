@@ -56,7 +56,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["WorkerPool", "WorkerError"]
+__all__ = ["WorkerPool", "WorkerError", "PoolCache"]
 
 #: Pools that still own shared-memory segments.  An atexit hook closes
 #: them because ``__del__`` alone is not enough at interpreter shutdown:
@@ -850,3 +850,52 @@ class WorkerPool:
         arch = ("-".join(str(s) for s in self.network.sizes)
                 if self.network is not None else "generic")
         return f"WorkerPool({arch}, workers={self.workers}, {state})"
+
+
+class PoolCache:
+    """Worker pools shared across the grid cells of a scenario run.
+
+    A full harness grid touches the same (network, workers) pair dozens of
+    times — train-step cells, inference cells, variation-sweep seeds.
+    Spawning a fresh :class:`WorkerPool` per cell would pay process
+    startup and shared-memory setup over and over; the cache keys live
+    pools by ``(id(network), workers)`` and hands the same pool back for
+    every cell that asks, closing them all at context exit.
+
+    Keying by object identity is deliberate: a pool's workers hold
+    replicas of one concrete network whose weights are synced through
+    shared memory — two equal-shaped but distinct networks must not share
+    a pool.  The cache keeps a reference to each keyed network so an id
+    cannot be recycled while its pool lives.
+    """
+
+    def __init__(self):
+        self._pools: dict = {}
+        self._networks: dict = {}
+
+    def get(self, network, workers: int) -> "WorkerPool":
+        if workers < 1:
+            raise ValueError(f"a pooled cell needs workers >= 1, "
+                             f"got {workers}")
+        key = (id(network), int(workers))
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = WorkerPool(network, workers=workers)
+            self._pools[key] = pool
+            self._networks[key] = network
+        return pool
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+        self._networks.clear()
+
+    def __enter__(self) -> "PoolCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

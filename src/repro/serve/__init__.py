@@ -44,6 +44,15 @@ from .loadgen import ServingReport, open_loop
 from .registry import ModelRegistry
 from .server import ModelServer
 from .session import Session
+from .workloads import (
+    DVSWorkload,
+    GlyphWorkload,
+    SpeechWorkload,
+    SyntheticWorkload,
+    Workload,
+    WorkloadMix,
+    make_workload,
+)
 
 __all__ = [
     "MicroBatcher",
@@ -54,4 +63,11 @@ __all__ = [
     "StreamRequest",
     "Ticket",
     "open_loop",
+    "Workload",
+    "SyntheticWorkload",
+    "SpeechWorkload",
+    "DVSWorkload",
+    "GlyphWorkload",
+    "WorkloadMix",
+    "make_workload",
 ]

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from ..common.errors import CapacityError
+from ..common.errors import CapacityError, ShapeError
 from ..common.rng import RandomState, as_random_state
 
 __all__ = ["ServingReport", "open_loop"]
@@ -108,7 +108,9 @@ class ServingReport:
 def open_loop(server, *, sessions: int = 16, requests: int = 200,
               chunk_steps: int = 10, rate_rps: float = 200.0,
               spike_density: float = 0.03,
-              rng: RandomState | int | None = 0) -> ServingReport:
+              rng: RandomState | int | None = 0,
+              workload=None,
+              timer=time.perf_counter) -> ServingReport:
     """Drive ``server`` with a Poisson open-loop arrival process.
 
     Parameters
@@ -126,17 +128,42 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
     rate_rps:
         Offered arrival rate (chunks/second) of the Poisson process.
     spike_density:
-        Bernoulli spike probability of the synthetic chunks.
+        Bernoulli spike probability of the synthetic chunks (ignored
+        when ``workload`` is given).
+    workload:
+        What the request streams carry: ``None`` keeps the legacy
+        synthetic Bernoulli chunks; otherwise a
+        :class:`~repro.serve.workloads.Workload` instance or name
+        (``"speech"``, ``"dvs"``, ``"glyph"``, ``"speech+synthetic"``,
+        ...) whose channel width must match the served network's input
+        layer.
+    timer:
+        Clock used to measure per-tick compute (seconds, monotonic).
+        The default is real wall time; the scenario harness injects a
+        deterministic fake in its reproducibility tests.
     """
     rng = as_random_state(rng)
     n_in = server.network.sizes[0]
+    if workload is not None:
+        from .workloads import make_workload
+
+        workload = make_workload(workload, channels=None)
+        if workload.channels != n_in:
+            raise ShapeError(
+                f"workload {workload.name!r} emits {workload.channels} "
+                f"channels but the served network expects {n_in}")
     session_ids = [server.open_session(now=0.0) for _ in range(sessions)]
     gaps = -np.log(np.clip(rng.random(requests), 1e-12, None)) / rate_rps
     arrivals = np.cumsum(gaps)
-    chunks = [
-        (rng.random((chunk_steps, n_in)) < spike_density).astype(np.float64)
-        for _ in range(requests)
-    ]
+    if workload is None:
+        chunks = [
+            (rng.random((chunk_steps, n_in))
+             < spike_density).astype(np.float64)
+            for _ in range(requests)
+        ]
+    else:
+        chunks = [workload.sample(chunk_steps, rng)
+                  for _ in range(requests)]
 
     outstanding: list = []
     latencies: list[float] = []
@@ -149,9 +176,9 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
     def run_tick(at: float) -> float:
         """Run one due tick; advance the virtual clock by measured cost."""
         nonlocal ticks, steps_served
-        start = time.perf_counter()
+        start = timer()
         completed = server.poll(now=at)
-        elapsed = time.perf_counter() - start
+        elapsed = timer() - start
         after = at + elapsed
         if completed:
             ticks += 1

@@ -1,0 +1,314 @@
+"""Scenario-harness guarantees: determinism, pool reuse, JSON round-trip.
+
+The contracts pinned here (see ``docs/experiments.md``):
+
+* **Determinism** — the same scenario list with the same seeds produces a
+  byte-identical run table (row-for-row) once wall-clock is removed via
+  the injectable timer; a changed seed changes only measurement columns,
+  never the grid (run ids, order, factor columns).
+* **Pool reuse** — grid cells that need the same (network, workers) pool
+  share one instance through :class:`repro.runtime.pool.PoolCache`.
+* **Round-trip** — ``table -> CSV -> table`` is lossless, and the
+  ``BENCH_*.json`` views regenerated from the re-read table match the
+  in-memory conversion (the ``tools/bench_to_json.py --from-table``
+  contract), with the key structure the docs and CI consume.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.common.runtable import RUN_TABLE_COLUMNS, RunTable
+from repro.core import SpikingNetwork
+from repro.core import engine as engine_mod
+from repro.experiments import benchjson
+from repro.experiments.harness import (
+    PRESETS,
+    modeled_energy_j,
+    run_scenario,
+    run_scenarios,
+    smoke_scenarios,
+)
+from repro.experiments.scenario import (
+    HardwareSpec,
+    LoadSpec,
+    Scenario,
+    expand,
+)
+from repro.runtime import PoolCache
+
+needs_scipy = pytest.mark.skipif(
+    engine_mod._sparse is None,
+    reason="serving scenarios stream through the CSR fused path")
+
+
+class FakeTimer:
+    """Deterministic monotonic clock: every call advances 1 ms."""
+
+    def __init__(self, dt=1e-3):
+        self.now = 0.0
+        self.dt = dt
+
+    def __call__(self):
+        self.now += self.dt
+        return self.now
+
+
+def tiny_scenarios(seed=0):
+    """A fast grid touching timed, accuracy, and serving kinds."""
+    return [
+        Scenario(name="t-forward", kind="forward",
+                 engines=("fused", "step"), sizes=(32, 16, 8), rounds=2,
+                 warmup=0, seed=seed),
+        Scenario(name="t-variation", kind="variation",
+                 hardware=(HardwareSpec(bits=3, variation=0.2, seed=5),),
+                 sizes=(24, 16, 8), samples=8, n_seeds=2, rounds=1,
+                 warmup=0, seed=seed),
+        Scenario(name="t-serving", kind="serving",
+                 loads=(LoadSpec("smoke", 400.0, 12),),
+                 sizes=(24, 16, 8), sessions=3, chunk_steps=4,
+                 repetitions=2, seed=seed),
+    ]
+
+
+class TestRunTable:
+    def test_unknown_column_rejected(self):
+        table = RunTable()
+        with pytest.raises(ExperimentError, match="unknown run-table"):
+            table.append(run_id="x", cpu_ms=1.0)
+
+    def test_duplicate_run_id_rejected(self):
+        table = RunTable()
+        table.append(run_id="x", kind="forward")
+        with pytest.raises(ExperimentError, match="duplicate run_id"):
+            table.append(run_id="x", kind="forward")
+
+    def test_csv_round_trip_preserves_types(self):
+        table = RunTable()
+        table.append(run_id="a", kind="serving", workers=2,
+                     rate_rps=300.0, duration_s=0.123456789,
+                     divergence=None, workload="speech+synthetic")
+        text = table.render_csv()
+        back = RunTable.from_csv_text(text)
+        assert back.rows == table.rows
+        assert back.render_csv() == text
+
+    def test_header_mismatch_rejected(self):
+        with pytest.raises(ExperimentError, match="header"):
+            RunTable.from_csv_text("a,b,c\n1,2,3\n")
+
+
+@needs_scipy
+class TestDeterminism:
+    def test_same_seed_identical_table(self):
+        a = run_scenarios(tiny_scenarios(seed=3), timer=FakeTimer())
+        b = run_scenarios(tiny_scenarios(seed=3), timer=FakeTimer())
+        assert a.render_csv() == b.render_csv()
+
+    def test_changed_seed_changes_only_measurements(self):
+        a = run_scenarios(tiny_scenarios(seed=3), timer=FakeTimer())
+        b = run_scenarios(tiny_scenarios(seed=4), timer=FakeTimer())
+        id_columns = RUN_TABLE_COLUMNS[:RUN_TABLE_COLUMNS.index("seed")]
+        for row_a, row_b in zip(a.rows, b.rows):
+            for column in id_columns:
+                assert row_a[column] == row_b[column], column
+        assert [r["run_id"] for r in a.rows] \
+            == [r["run_id"] for r in b.rows]
+        # the seed column and at least one measurement moved
+        assert [r["seed"] for r in a.rows] != [r["seed"] for r in b.rows]
+        serving_a = [r for r in a.rows if r["kind"] == "serving"]
+        serving_b = [r for r in b.rows if r["kind"] == "serving"]
+        assert any(ra["duration_s"] != rb["duration_s"]
+                   or ra["ticks"] != rb["ticks"]
+                   for ra, rb in zip(serving_a, serving_b))
+
+    def test_expansion_independent_of_execution(self):
+        scenario = tiny_scenarios(seed=3)[2]
+        before = [spec.run_id for spec in expand(scenario)]
+        run_scenario(scenario, timer=FakeTimer())
+        assert [spec.run_id for spec in expand(scenario)] == before
+
+
+class TestPoolCache:
+    def test_same_key_same_pool(self):
+        net = SpikingNetwork((12, 8, 4), rng=0)
+        with PoolCache() as cache:
+            first = cache.get(net, 1)
+            assert cache.get(net, 1) is first
+            assert len(cache) == 1
+            other = cache.get(net, 2)
+            assert other is not first
+            assert len(cache) == 2
+
+    def test_distinct_networks_never_share(self):
+        a = SpikingNetwork((12, 8, 4), rng=0)
+        b = SpikingNetwork((12, 8, 4), rng=0)
+        with PoolCache() as cache:
+            assert cache.get(a, 1) is not cache.get(b, 1)
+
+    def test_serial_request_rejected(self):
+        with PoolCache() as cache:
+            with pytest.raises(ValueError, match="workers >= 1"):
+                cache.get(SpikingNetwork((12, 8, 4), rng=0), 0)
+
+
+class TestEnergyModel:
+    def test_scales_with_steps_and_neurons(self):
+        one = modeled_energy_j(1, 1)
+        assert one == pytest.approx(1.11e-11, rel=1e-6)
+        assert modeled_energy_j(300, 1) == pytest.approx(3.33e-9, rel=1e-2)
+        assert modeled_energy_j(10, 7) == pytest.approx(70 * one)
+
+
+@needs_scipy
+class TestBenchJsonRoundTrip:
+    """table -> CSV -> table -> BENCH_*.json matches in-memory conversion
+    and the key structure the docs/CI consume."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        scenarios = [
+            Scenario(name="forward", kind="forward", engines=("fused",),
+                     precisions=("float64", "float32"), sizes=(32, 16, 8),
+                     rounds=2, warmup=0),
+            Scenario(name="forward-step", kind="forward", engines=("step",),
+                     sizes=(32, 16, 8), rounds=2, warmup=0),
+            Scenario(name="backward", kind="backward",
+                     engines=("fused", "step"), sizes=(32, 16, 8),
+                     rounds=2, warmup=0),
+            Scenario(name="train-step", kind="train_step",
+                     sizes=(32, 16, 8), rounds=2, warmup=0),
+            Scenario(name="train-step-aware", kind="train_step",
+                     hardware=(HardwareSpec(4, 0.0, 13),
+                               HardwareSpec(4, 0.1, 13)),
+                     sizes=(32, 16, 8), rounds=2, warmup=0),
+            Scenario(name="inference", kind="inference", sizes=(32, 16, 8),
+                     rounds=2, warmup=0),
+            Scenario(name="variation-sweep", kind="variation",
+                     hardware=(HardwareSpec(4, 0.2, 13),),
+                     sizes=(24, 16, 8), samples=8, n_seeds=2, rounds=1,
+                     warmup=0),
+            Scenario(name="serving", kind="serving", engines=("fused",),
+                     precisions=("float64", "float32"),
+                     loads=(LoadSpec("light", 400.0, 10),),
+                     sizes=(24, 16, 8), sessions=3, chunk_steps=4),
+            Scenario(name="serving-hardware", kind="serving",
+                     hardware=(HardwareSpec(4, 0.1, 7),),
+                     loads=(LoadSpec("light", 400.0, 10),),
+                     sizes=(24, 16, 8), sessions=3, chunk_steps=4),
+            Scenario(name="serving-shadow", kind="serving",
+                     hardware=(HardwareSpec(4, 0.1, 7, shadow=True),),
+                     loads=(LoadSpec("light", 400.0, 10),),
+                     sizes=(24, 16, 8), sessions=3, chunk_steps=4),
+        ]
+        return run_scenarios(scenarios, timer=FakeTimer())
+
+    def test_csv_round_trip_lossless(self, table):
+        back = RunTable.from_csv_text(table.render_csv())
+        assert back.rows == table.rows
+
+    def test_throughput_schema(self, table):
+        meta = {"pinned": True}
+        report = benchjson.throughput_report(table, meta=meta)
+        reread = benchjson.throughput_report(
+            RunTable.from_csv_text(table.render_csv()), meta=meta)
+        assert report == reread
+        assert set(report) == {"meta", "forward", "backward", "train_step",
+                               "inference", "variation_sweep",
+                               "train_step_hardware_aware"}
+        assert set(report["forward"]) == {"fused", "fused_float32",
+                                          "step_reference"}
+        assert set(report["backward"]) == {"fused", "reference"}
+        assert "serial" in report["train_step"]
+        assert "serial" in report["inference"]
+        assert "serial" in report["variation_sweep"]
+        aware = report["train_step_hardware_aware"]
+        assert set(aware) == {"ideal", "hardware_aware",
+                              "hardware_aware_noise",
+                              "overhead_hardware_aware",
+                              "overhead_hardware_aware_noise"}
+        for row in (report["forward"]["fused"], aware["ideal"]):
+            assert set(row) == {"min_ms", "mean_ms", "max_ms", "rounds"}
+
+    def test_serving_schema(self, table):
+        meta = {"pinned": True}
+        report = benchjson.serving_report(table, meta=meta)
+        reread = benchjson.serving_report(
+            RunTable.from_csv_text(table.render_csv()), meta=meta)
+        assert report == reread
+        assert set(report["serving"]) == {"fused_float64", "fused_float32",
+                                          "hardware_float64",
+                                          "shadow_float64"}
+        row = report["serving"]["fused_float64"]["light"]
+        assert set(row) == {"offered_rps", "duration_s", "submitted",
+                            "completed", "rejected", "ticks",
+                            "throughput_rps", "mean_batch", "steps_per_s",
+                            "latency_ms", "divergence"}
+        assert set(row["latency_ms"]) == {"p50", "p95", "p99", "mean",
+                                          "max"}
+        assert report["serving"]["shadow_float64"]["light"]["divergence"] \
+            is not None
+
+    def test_aware_schema(self, table):
+        meta = {"pinned": True}
+        report = benchjson.aware_report(table, meta=meta)
+        reread = benchjson.aware_report(
+            RunTable.from_csv_text(table.render_csv()), meta=meta)
+        assert report == reread
+        assert report["meta"]["operating_point"] == {"bits": 4,
+                                                     "variation": 0.1}
+        assert set(report["train_step"]) == {
+            "ideal", "hardware_aware", "hardware_aware_noise",
+            "overhead_hardware_aware", "overhead_hardware_aware_noise"}
+
+    def test_missing_rows_fail_loudly(self):
+        table = RunTable()
+        table.append(run_id="only", kind="forward", engine="fused",
+                     precision="float64", repetition=0, min_ms=1.0,
+                     mean_ms=1.0, max_ms=1.0, rounds=1)
+        with pytest.raises(ExperimentError, match="no row"):
+            benchjson.throughput_report(table, meta={})
+        with pytest.raises(ExperimentError, match="serving"):
+            benchjson.serving_report(table, meta={})
+
+    def test_from_table_cli(self, table, tmp_path, monkeypatch):
+        """``tools/bench_to_json.py --from-table`` regenerates all three
+        JSON artifacts from a table on disk."""
+        table_path = tmp_path / "run_table.csv"
+        table.write_csv(table_path)
+        tools = pathlib.Path(__file__).resolve().parents[2] / "tools"
+        spec = importlib.util.spec_from_file_location(
+            "bench_to_json_under_test", tools / "bench_to_json.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.chdir(tmp_path)
+        assert module.main(["--from-table", str(table_path)]) == 0
+        for name in ("BENCH_throughput.json", "BENCH_serving.json",
+                     "BENCH_aware.json"):
+            report = json.loads((tmp_path / name).read_text())
+            assert "meta" in report
+
+
+class TestPresets:
+    def test_presets_expand_deterministically(self):
+        for name, factory in PRESETS.items():
+            ids = [spec.run_id for scenario in factory()
+                   for spec in expand(scenario)]
+            assert ids == [spec.run_id for scenario in factory()
+                           for spec in expand(scenario)], name
+            assert len(ids) == len(set(ids)), f"{name}: duplicate run ids"
+
+    def test_smoke_grid_is_the_ci_acceptance_grid(self):
+        """2 engines x 2 workloads x 1 rep, incl. a non-SHD workload."""
+        serving = [spec for scenario in smoke_scenarios()
+                   for spec in expand(scenario)
+                   if spec.kind == "serving"]
+        engines = {spec.engine for spec in serving}
+        workloads = {spec.workload for spec in serving}
+        assert engines == {"fused", "step"}
+        assert "dvs" in workloads          # a non-SHD sensor workload
+        assert any("+" in w for w in workloads)  # and a mixed stream
+        assert all(spec.repetition == 0 for spec in serving)

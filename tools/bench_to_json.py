@@ -1,24 +1,30 @@
 #!/usr/bin/env python
 """Machine-readable benchmarks: ``make bench-json`` / ``make bench-serving``.
 
-Two modes sharing one CLI:
+A thin CLI over the scenario harness
+(:mod:`repro.experiments.harness`): every mode expands a declarative
+scenario preset into a deterministic grid, executes it into one run
+table, and converts the table into the historical ``BENCH_*.json``
+shapes (:mod:`repro.experiments.benchjson`).  The run table is the
+source of truth — pass ``--table`` to keep it next to the JSON, and use
+``--from-table`` to regenerate every JSON artifact from an existing
+table without re-running anything.
 
-* default — times the repo's hot paths (forward, backward, the full
-  training step — ideal and hardware-aware — and the Fig. 8 variation
-  sweep) for the serial fused engine and for the parallel runtime at each
-  requested worker count, then writes ``BENCH_throughput.json`` so the
-  performance trajectory of the project is diffable from PR to PR;
-* ``--serving`` — drives the open-loop serving benchmark
-  (``benchmarks/bench_serving.py``: Poisson arrivals through the
-  micro-batching :class:`repro.serve.ModelServer`) and writes
-  ``BENCH_serving.json`` with throughput_rps and p50/p95/p99 latency per
-  offered load — for the ideal model, the crossbar-mapped hardware
-  realization, and the shadow (ideal + hardware, with per-chunk output
-  divergence) configurations side by side;
+Modes:
+
+* default — the throughput grid (forward, backward, train step — ideal
+  and hardware-aware — inference, and the Fig. 8 variation sweep; serial
+  plus each requested worker count) -> ``BENCH_throughput.json``;
+* ``--serving`` — the open-loop serving grid (Poisson arrivals through
+  the micro-batching :class:`repro.serve.ModelServer`; ideal, hardware
+  and shadow configs x light/heavy/overload loads) ->
+  ``BENCH_serving.json``;
 * ``--aware`` — only the hardware-aware train-step rows (ideal vs
-  straight-through fake-quant vs fake-quant + per-step programming
-  noise, 4-bit / 10 % variation) into ``BENCH_aware.json`` — the
-  ``make bench-aware`` entry point.
+  straight-through fake-quant vs fake-quant + programming noise, 4-bit /
+  10 % variation) -> ``BENCH_aware.json``;
+* ``--from-table PATH`` — no measurement: read ``PATH`` and regenerate
+  all three JSON files from whatever rows it has (failing with a clear
+  message when a required preset's rows are missing).
 
 The shapes match ``benchmarks/bench_throughput.py`` and
 ``docs/performance.md``: batch 32 (forward/backward) and batch 64
@@ -28,9 +34,10 @@ spike density.
 Usage::
 
     PYTHONPATH=src python tools/bench_to_json.py \
-        [--out BENCH_throughput.json] [--rounds 10] [--workers 0,1,2,4]
-    PYTHONPATH=src python tools/bench_to_json.py --serving \
-        [--out BENCH_serving.json]
+        [--out BENCH_throughput.json] [--rounds 10] [--workers 0,1,2,4] \
+        [--table run_table.csv]
+    PYTHONPATH=src python tools/bench_to_json.py --serving
+    PYTHONPATH=src python tools/bench_to_json.py --from-table run_table.csv
 
 Worker counts beyond the machine's cores are still measured (they quantify
 oversubscription overhead); the JSON records ``cpu_count`` so readers can
@@ -40,224 +47,79 @@ judge the scaling numbers.
 from __future__ import annotations
 
 import argparse
-import datetime
 import json
 import os
-import platform
-import statistics
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np  # noqa: E402
-
-from repro.common.benchcfg import (  # noqa: E402
-    BENCH_FORWARD_BATCH as FORWARD_BATCH,
-    BENCH_SIZES as SIZES,
-    BENCH_SPIKE_DENSITY,
-    BENCH_STEPS as STEPS,
-    BENCH_TRAIN_BATCH as TRAIN_BATCH,
-    bench_inputs,
-    bench_network,
+from repro.common.errors import ExperimentError  # noqa: E402
+from repro.common.runtable import RunTable  # noqa: E402
+from repro.experiments import benchjson  # noqa: E402
+from repro.experiments.harness import (  # noqa: E402
+    aware_scenarios,
+    run_scenarios,
+    serving_scenarios,
+    throughput_scenarios,
 )
-from repro.common.rng import RandomState  # noqa: E402
-from repro.core import (  # noqa: E402
-    CrossEntropyRateLoss,
-    Trainer,
-    TrainerConfig,
-    backward,
-)
-from repro.core.trainer import run_in_batches  # noqa: E402
-from repro.hardware import accuracy_under_variation  # noqa: E402
-
-SWEEP_SIZES = (700, 128, 20)
-SWEEP_SAMPLES = 128
-SWEEP_SEEDS = 4
 
 
-def _time(fn, rounds: int, warmup: int = 2) -> dict:
-    """min/mean/max wall-clock milliseconds over ``rounds`` calls."""
-    for _ in range(warmup):
-        fn()
-    samples = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        samples.append((time.perf_counter() - start) * 1e3)
-    return {
-        "min_ms": round(min(samples), 3),
-        "mean_ms": round(statistics.fmean(samples), 3),
-        "max_ms": round(max(samples), 3),
-        "rounds": rounds,
-    }
-
-
-def bench_forward(rounds: int) -> dict:
-    net = bench_network()
-    x = bench_inputs(FORWARD_BATCH)
-    out = {
-        "fused": _time(lambda: net.run(x), rounds),
-        "fused_float32": _time(lambda: net.run(x, precision="float32"),
-                               rounds),
-        "step_reference": _time(lambda: net.run(x, engine="step"),
-                                max(rounds // 2, 3)),
-    }
-    return out
-
-
-def bench_backward(rounds: int) -> dict:
-    net = bench_network()
-    x = bench_inputs(FORWARD_BATCH)
-    labels = np.arange(FORWARD_BATCH) % SIZES[-1]
-    loss = CrossEntropyRateLoss()
-    outputs, record = net.run(x, record=True)
-    _, grad_out = loss.value_and_grad(outputs, labels)
-    return {
-        "fused": _time(lambda: backward(net, record, grad_out), rounds),
-        "reference": _time(
-            lambda: backward(net, record, grad_out, engine="reference"),
-            max(rounds // 2, 3)),
-    }
-
-
-def bench_train_step(rounds: int, workers: int, hardware=None) -> dict:
-    net = bench_network(seed=2)
-    x = bench_inputs(TRAIN_BATCH, seed=3)
-    labels = np.arange(TRAIN_BATCH) % SIZES[-1]
-    trainer = Trainer(net, CrossEntropyRateLoss(), TrainerConfig(
-        epochs=1, batch_size=TRAIN_BATCH, learning_rate=1e-4,
-        optimizer="adamw", workers=workers, hardware=hardware))
-    try:
-        return _time(lambda: trainer.train_batch(x, labels), rounds)
-    finally:
-        trainer.close()
-
-
-#: The Fig. 8 operating point the hardware-aware rows are measured at.
-AWARE_BITS = 4
-AWARE_VARIATION = 0.1
-
-
-def _aware_profile(variation: float):
-    from repro.hardware import HardwareProfile
-
-    return HardwareProfile.create(bits=AWARE_BITS, variation=variation,
-                                  seed=13)
-
-
-def bench_train_step_aware(rounds: int, ideal: dict | None = None) -> dict:
-    """Hardware-aware train-step cost rows (serial, paper shapes).
-
-    ``ideal`` is the plain fused step (pass an already-measured row —
-    e.g. the worker loop's ``serial`` — to avoid re-timing it);
-    ``hardware_aware`` adds the straight-through fake-quant override
-    (map-time grid, no noise); ``hardware_aware_noise`` additionally
-    samples one programming-variation draw per step (the full Fig. 8
-    operating-point training mode).  ``overhead_*`` are mean-time ratios
-    against ``ideal``.
-    """
-    rows = {
-        "ideal": ideal if ideal is not None else bench_train_step(rounds, 0),
-        "hardware_aware": bench_train_step(
-            rounds, 0, hardware=_aware_profile(0.0)),
-        "hardware_aware_noise": bench_train_step(
-            rounds, 0, hardware=_aware_profile(AWARE_VARIATION)),
-    }
-    base = rows["ideal"]["mean_ms"]
-    for key in ("hardware_aware", "hardware_aware_noise"):
-        rows[f"overhead_{key}"] = round(rows[key]["mean_ms"] / base, 3)
-    return rows
-
-
-def bench_inference(rounds: int, workers: int) -> dict:
-    """Sharded forward over 4 batches (steady state: persistent pool)."""
-    net = bench_network(seed=4)
-    x = bench_inputs(4 * FORWARD_BATCH, seed=5)
-    if workers == 0:
-        return _time(
-            lambda: run_in_batches(net, x, FORWARD_BATCH), rounds)
-    from repro.runtime import WorkerPool
-
-    with WorkerPool(net, workers=workers) as pool:
-        return _time(
-            lambda: run_in_batches(net, x, FORWARD_BATCH, pool=pool),
-            rounds)
-
-
-def bench_variation_sweep(rounds: int, workers: int) -> dict:
-    """One Fig. 8 grid point, n_seeds=4 (persistent pool across calls)."""
-    net = bench_network(sizes=SWEEP_SIZES, seed=6)
-    rng = RandomState(7)
-    x = (rng.random((SWEEP_SAMPLES, STEPS, SWEEP_SIZES[0]))
-         < BENCH_SPIKE_DENSITY).astype(np.float64)
-    labels = np.arange(SWEEP_SAMPLES) % SWEEP_SIZES[-1]
-
-    def point(pool=None):
-        return accuracy_under_variation(
-            net, x, labels, bits=4, variation=0.2, n_seeds=SWEEP_SEEDS,
-            rng=11, pool=pool)
-
-    if workers == 0:
-        return _time(point, rounds)
-    from repro.runtime import WorkerPool
-
-    with WorkerPool(net, workers=min(workers, SWEEP_SEEDS)) as pool:
-        return _time(lambda: point(pool), rounds)
-
-
-def _environment_meta() -> dict:
-    return {
-        "generated": datetime.datetime.now(datetime.timezone.utc)
-                     .isoformat(timespec="seconds"),
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-    }
-
-
-def serving_main(out_path: str) -> int:
-    """``--serving`` mode: the open-loop serving grid -> BENCH_serving.json."""
-    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                    "..", "benchmarks"))
-    import bench_serving
-
-    report = {
-        "meta": {**_environment_meta(), "workload": bench_serving.serving_meta()},
-        "serving": bench_serving.run_serving_bench(),
-    }
+def _write_json(report: dict, out_path: str) -> None:
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(f"wrote {out_path}")
+
+
+def _maybe_write_table(table: RunTable, table_path: str | None) -> None:
+    if table_path:
+        table.write_csv(table_path)
+        print(f"wrote {table_path} ({len(table)} rows)")
+
+
+def from_table_main(table_path: str) -> int:
+    """Regenerate every BENCH JSON the table has rows for."""
+    table = RunTable.read_csv(table_path)
+    print(f"read {table_path} ({len(table)} rows)")
+    converted = 0
+    for out_path, convert in (
+            ("BENCH_throughput.json", benchjson.throughput_report),
+            ("BENCH_serving.json", benchjson.serving_report),
+            ("BENCH_aware.json", benchjson.aware_report)):
+        try:
+            report = convert(table)
+        except ExperimentError as error:
+            print(f"skip {out_path}: {error}")
+            continue
+        _write_json(report, out_path)
+        converted += 1
+    if not converted:
+        print("no BENCH json could be regenerated from this table")
+        return 1
     return 0
 
 
-def aware_main(out_path: str, rounds: int) -> int:
-    """``--aware`` mode: hardware-aware train-step cost -> BENCH_aware.json.
+def serving_main(out_path: str, table_path: str | None) -> int:
+    table = run_scenarios(serving_scenarios(), log=print)
+    _maybe_write_table(table, table_path)
+    _write_json(benchjson.serving_report(table), out_path)
+    return 0
 
-    The quick ``make bench-aware`` entry point: only the train-step rows
-    (ideal vs quantize vs quantize+noise), so the overhead of closing the
-    codesign loop is measurable in seconds rather than the full grid.
-    """
-    report = {
-        "meta": {
-            **_environment_meta(),
-            "shapes": {"sizes": list(SIZES), "steps": STEPS,
-                       "train_batch": TRAIN_BATCH},
-            "operating_point": {"bits": AWARE_BITS,
-                                "variation": AWARE_VARIATION},
-        },
-        "train_step": bench_train_step_aware(rounds),
-    }
-    rows = report["train_step"]
-    for key in ("ideal", "hardware_aware", "hardware_aware_noise"):
-        print(f"train step [{key}]: {rows[key]['mean_ms']} ms mean")
-    with open(out_path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    print(f"wrote {out_path}")
+
+def aware_main(out_path: str, rounds: int, table_path: str | None) -> int:
+    table = run_scenarios(aware_scenarios(rounds), log=print)
+    _maybe_write_table(table, table_path)
+    _write_json(benchjson.aware_report(table), out_path)
+    return 0
+
+
+def throughput_main(out_path: str, rounds: int, worker_counts: list,
+                    table_path: str | None) -> int:
+    scenarios = throughput_scenarios(rounds, tuple(worker_counts)) \
+        + aware_scenarios(rounds)
+    table = run_scenarios(scenarios, log=print)
+    _maybe_write_table(table, table_path)
+    _write_json(benchjson.throughput_report(table), out_path)
     return 0
 
 
@@ -268,59 +130,30 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", default="0,1,2,4",
                         help="comma-separated worker counts for the "
                              "parallel sections (0 = serial)")
+    parser.add_argument("--table", default=None,
+                        help="also write the underlying run table "
+                             "(CSV) to this path")
     parser.add_argument("--serving", action="store_true",
-                        help="run the open-loop serving benchmark instead "
+                        help="run the open-loop serving grid instead "
                              "(writes BENCH_serving.json by default)")
     parser.add_argument("--aware", action="store_true",
                         help="run only the hardware-aware train-step rows "
                              "(writes BENCH_aware.json by default)")
+    parser.add_argument("--from-table", dest="from_table", default=None,
+                        metavar="PATH",
+                        help="regenerate all BENCH_*.json from an existing "
+                             "run table; no measurement runs")
     args = parser.parse_args(argv)
+    if args.from_table:
+        return from_table_main(args.from_table)
     if args.serving:
-        return serving_main(args.out or "BENCH_serving.json")
+        return serving_main(args.out or "BENCH_serving.json", args.table)
     if args.aware:
-        return aware_main(args.out or "BENCH_aware.json", args.rounds)
-    out_path = args.out or "BENCH_throughput.json"
+        return aware_main(args.out or "BENCH_aware.json", args.rounds,
+                          args.table)
     worker_counts = [int(w) for w in args.workers.split(",") if w != ""]
-    rounds = args.rounds
-
-    report = {
-        "meta": {
-            **_environment_meta(),
-            "shapes": {
-                "sizes": list(SIZES),
-                "steps": STEPS,
-                "forward_batch": FORWARD_BATCH,
-                "train_batch": TRAIN_BATCH,
-                "sweep": {"sizes": list(SWEEP_SIZES),
-                          "samples": SWEEP_SAMPLES,
-                          "n_seeds": SWEEP_SEEDS},
-            },
-        },
-        "forward": bench_forward(rounds),
-        "backward": bench_backward(rounds),
-        "train_step": {}, "inference": {}, "variation_sweep": {},
-    }
-    print(f"forward fused: {report['forward']['fused']['mean_ms']} ms mean")
-    print(f"backward fused: {report['backward']['fused']['mean_ms']} ms mean")
-    for workers in worker_counts:
-        label = "serial" if workers == 0 else f"workers{workers}"
-        report["train_step"][label] = bench_train_step(rounds, workers)
-        report["inference"][label] = bench_inference(
-            max(rounds // 2, 3), workers)
-        report["variation_sweep"][label] = bench_variation_sweep(
-            max(rounds // 3, 2), workers)
-        print(f"train step [{label}]: "
-              f"{report['train_step'][label]['mean_ms']} ms mean")
-    # The aware rows reuse the serial ideal measurement when the loop
-    # above produced one (workers=0 requested), instead of re-timing it.
-    report["train_step_hardware_aware"] = bench_train_step_aware(
-        rounds, ideal=report["train_step"].get("serial"))
-
-    with open(out_path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    print(f"wrote {out_path}")
-    return 0
+    return throughput_main(args.out or "BENCH_throughput.json",
+                           args.rounds, worker_counts, args.table)
 
 
 if __name__ == "__main__":
