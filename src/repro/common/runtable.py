@@ -75,7 +75,10 @@ def _render_cell(value) -> str:
     if isinstance(value, bool):  # guard: bools are ints in python
         return str(int(value))
     if isinstance(value, float):
-        return repr(value)       # repr round-trips float() exactly
+        # float() flattens numpy scalars (np.float64 is a float subclass
+        # whose repr under numpy 2.x is 'np.float64(...)', which would
+        # corrupt the cell); repr of a builtin float round-trips exactly.
+        return repr(float(value))
     text = str(value)
     if any(ch in text for ch in ",\n\r\""):
         raise ExperimentError(
@@ -84,7 +87,15 @@ def _render_cell(value) -> str:
     return text
 
 
-def _parse_cell(text: str):
+#: Columns whose non-empty cells must parse as numbers — a cell that
+#: comes back as a string here means the table is corrupted, and the
+#: read must fail loudly instead of quietly emitting wrong JSON.
+_NUMERIC_COLUMNS = frozenset(MEASUREMENT_COLUMNS) | {
+    "workers", "hw_bits", "hw_variation", "rate_rps", "repetition", "seed",
+}
+
+
+def _parse_cell(text: str, column: str):
     if text == "":
         return None
     try:
@@ -94,6 +105,10 @@ def _parse_cell(text: str):
     try:
         return float(text)
     except ValueError:
+        if column in _NUMERIC_COLUMNS:
+            raise ExperimentError(
+                f"run-table cell {column}={text!r} must be numeric but "
+                "does not parse as a number — the table is corrupted")
         return text
 
 
@@ -165,7 +180,7 @@ class RunTable:
                     f"run-table row has {len(cells)} cells, expected "
                     f"{len(cls.columns)}: {line[:60]}...")
             table.append(**{
-                column: _parse_cell(cell)
+                column: _parse_cell(cell, column)
                 for column, cell in zip(cls.columns, cells)
                 if cell != ""
             })

@@ -91,14 +91,17 @@ class _HarnessContext:
                                                 seed=seed)
         return self._networks[key]
 
-    def workload(self, name: str, channels_hint: int, seed: int):
+    def workload(self, name: str, channels_hint: int, seed: int,
+                 density: float | None = None):
         from ..serve.workloads import make_workload
 
         channels = channels_hint if name == "synthetic" else None
-        key = (name, seed, channels)
+        if "synthetic" not in name.split("+"):
+            density = None  # only synthetic components carry a density
+        key = (name, seed, channels, density)
         if key not in self._workloads:
             self._workloads[key] = make_workload(name, channels=channels,
-                                                 seed=seed)
+                                                 seed=seed, density=density)
         return self._workloads[key]
 
     def close(self) -> None:
@@ -241,7 +244,8 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
     scenario = spec.scenario
     run_seed = _run_seed(spec)
     workload = ctx.workload(spec.workload, scenario.sizes[0],
-                            seed=spec.seed)
+                            seed=spec.seed,
+                            density=scenario.spike_density)
     sizes = (workload.channels,) + tuple(scenario.sizes[1:])
     net = ctx.network(sizes, seed=0)
     hardware = None
@@ -257,11 +261,14 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
         queue_limit=scenario.queue_limit, hardware=hardware,
         shadow=spec.hardware.shadow if spec.hardware else False)
     try:
+        # spike_density reaches the run through the workload itself
+        # (ctx.workload builds synthetic components at the scenario's
+        # density); open_loop ignores its spike_density arg when a
+        # workload is passed.
         report = open_loop(
             server, sessions=scenario.sessions,
             requests=spec.load.requests, chunk_steps=scenario.chunk_steps,
-            rate_rps=spec.load.rate_rps,
-            spike_density=scenario.spike_density, rng=run_seed,
+            rate_rps=spec.load.rate_rps, rng=run_seed,
             workload=workload, timer=ctx.timer)
     finally:
         server.close()

@@ -57,6 +57,10 @@ class ServingReport:
                  ticks: int, steps: int,
                  divergence: float | None = None) -> "ServingReport":
         completed = len(latencies_s)
+        # The virtual clock runs on numpy scalars (np.cumsum arrivals);
+        # coerce to builtin floats so downstream renderers (the run
+        # table's repr-based CSV cells) never see np.float64.
+        duration_s = float(duration_s)
         duration = max(duration_s, 1e-12)
         if completed:
             ms = 1e3 * np.asarray(latencies_s)
@@ -73,7 +77,7 @@ class ServingReport:
             latency = {key: None for key in ("p50", "p95", "p99", "mean",
                                              "max")}
         return cls(
-            offered_rps=round(offered_rps, 3),
+            offered_rps=round(float(offered_rps), 3),
             duration_s=round(duration_s, 6),
             submitted=completed + rejected,
             completed=completed,
@@ -81,7 +85,7 @@ class ServingReport:
             ticks=ticks,
             throughput_rps=round(completed / duration, 3),
             mean_batch=round(completed / ticks, 3) if ticks else 0.0,
-            steps_per_s=round(steps / duration, 1),
+            steps_per_s=round(float(steps) / duration, 1),
             latency_ms=latency,
             divergence=(None if divergence is None
                         else round(float(divergence), 6)),

@@ -280,11 +280,14 @@ _FACTORIES = {
 
 
 def make_workload(spec, channels: int | None = None,
-                  seed: int = 0) -> Workload:
+                  seed: int = 0,
+                  density: float | None = None) -> Workload:
     """Resolve a workload name (or ``"a+b"`` mix) to an instance.
 
     ``channels`` overrides the width where the workload supports it
     (synthetic only — the sensor workloads have fixed native widths).
+    ``density`` overrides the Bernoulli spike density of synthetic
+    components (including inside mixes); sensor workloads ignore it.
     Passing an existing :class:`Workload` returns it unchanged.
     """
     if isinstance(spec, Workload):
@@ -302,7 +305,8 @@ def make_workload(spec, channels: int | None = None,
             fixed = [WORKLOAD_CHANNELS[p] for p in parts
                      if p in WORKLOAD_CHANNELS and p != "synthetic"]
             channels = fixed[0] if fixed else None
-        return WorkloadMix([make_workload(p, channels=channels, seed=seed)
+        return WorkloadMix([make_workload(p, channels=channels, seed=seed,
+                                          density=density)
                             for p in parts])
     if spec not in _FACTORIES:
         raise ExperimentError(
@@ -311,7 +315,9 @@ def make_workload(spec, channels: int | None = None,
     if spec == "synthetic":
         width = WORKLOAD_CHANNELS["synthetic"] if channels is None \
             else channels
-        return SyntheticWorkload(channels=width)
+        if density is None:
+            return SyntheticWorkload(channels=width)
+        return SyntheticWorkload(channels=width, density=density)
     if channels is not None and channels != WORKLOAD_CHANNELS[spec]:
         raise ExperimentError(
             f"workload {spec!r} has a fixed native width of "

@@ -18,6 +18,7 @@ import importlib.util
 import json
 import pathlib
 
+import numpy as np
 import pytest
 
 from repro.common.errors import ExperimentError
@@ -100,6 +101,28 @@ class TestRunTable:
         with pytest.raises(ExperimentError, match="header"):
             RunTable.from_csv_text("a,b,c\n1,2,3\n")
 
+    def test_numpy_scalar_cells_render_as_builtin_floats(self):
+        # np.float64 is a float subclass whose repr under numpy 2.x is
+        # 'np.float64(...)'; a cell like that would read back as a string
+        # and corrupt every JSON regenerated from the table.
+        table = RunTable()
+        table.append(run_id="a", kind="serving",
+                     duration_s=np.float64(0.08208),
+                     throughput_rps=np.float64(4678.371),
+                     steps_per_s=np.float64(46783.7))
+        text = table.render_csv()
+        assert "np.float64" not in text
+        back = RunTable.from_csv_text(text)
+        assert back.rows[0]["duration_s"] == pytest.approx(0.08208)
+        assert isinstance(back.rows[0]["throughput_rps"], float)
+
+    def test_corrupt_numeric_cell_fails_loudly(self):
+        table = RunTable()
+        table.append(run_id="a", kind="serving", duration_s=0.5)
+        text = table.render_csv().replace("0.5", "np.float64(0.5)")
+        with pytest.raises(ExperimentError, match="numeric"):
+            RunTable.from_csv_text(text)
+
 
 @needs_scipy
 class TestDeterminism:
@@ -130,6 +153,38 @@ class TestDeterminism:
         before = [spec.run_id for spec in expand(scenario)]
         run_scenario(scenario, timer=FakeTimer())
         assert [spec.run_id for spec in expand(scenario)] == before
+
+
+class TestServingDensity:
+    """``Scenario.spike_density`` reaches the streamed synthetic chunks
+    (it used to be silently dropped once a workload object was built)."""
+
+    def test_context_builds_synthetic_at_scenario_density(self):
+        from repro.experiments.harness import _HarnessContext
+
+        with _HarnessContext() as ctx:
+            dense = ctx.workload("synthetic", 64, seed=0, density=0.25)
+            assert dense.density == 0.25
+            sparse = ctx.workload("synthetic", 64, seed=0, density=0.03)
+            assert sparse is not dense
+            assert sparse.density == 0.03
+
+    def test_density_reaches_synthetic_mix_components(self):
+        from repro.experiments.harness import _HarnessContext
+
+        with _HarnessContext() as ctx:
+            mix = ctx.workload("speech+synthetic", 700, seed=0,
+                               density=0.25)
+            densities = [w.density for w in mix.workloads
+                         if w.name == "synthetic"]
+            assert densities == [0.25]
+
+    def test_sensor_workloads_share_cache_across_densities(self):
+        from repro.experiments.harness import _HarnessContext
+
+        with _HarnessContext() as ctx:
+            assert ctx.workload("dvs", 64, seed=0, density=0.25) \
+                is ctx.workload("dvs", 64, seed=0, density=0.03)
 
 
 class TestPoolCache:

@@ -115,6 +115,14 @@ class TestWorkloads:
         chunk = mix.sample(8, rng=RandomState(3))
         assert chunk.shape == (8, 784)
 
+    def test_density_reaches_synthetic_components(self):
+        assert make_workload("synthetic", density=0.2).density == 0.2
+        assert make_workload("synthetic").density == 0.03
+        mix = make_workload("speech+synthetic", seed=0, density=0.2)
+        densities = [w.density for w in mix.workloads
+                     if isinstance(w, SyntheticWorkload)]
+        assert densities == [0.2]
+
     def test_mix_draws_every_component(self):
         mix = WorkloadMix([SyntheticWorkload(channels=32, density=0.9),
                            SyntheticWorkload(channels=32, density=0.01)])
