@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper docs quickstart serve-demo
+.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -39,6 +39,10 @@ bench-smoke:
 ## regenerate every paper table/figure (REPRO_PROFILE=full for paper scale)
 bench-paper:
 	$(PYTHON) -m pytest benchmarks -q
+
+## fault-injection gates: pool bitwise self-healing + chaos availability
+chaos-smoke:
+	$(PYTHON) tools/chaos_smoke.py --table run_table.csv
 
 ## verify the documentation: README/docs exist and their local links resolve
 docs:

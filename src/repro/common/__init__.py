@@ -1,4 +1,4 @@
-"""Shared infrastructure: RNG management, configs, units, tables, plotting."""
+"""Shared infrastructure: RNG, configs, units, tables, fault injection."""
 
 from .config import BaseConfig
 from .errors import (
@@ -13,6 +13,7 @@ from .errors import (
     StateError,
     check_shape,
 )
+from .faults import FaultError, FaultPlan, FaultRule
 from .rng import RandomState, as_random_state
 from .tables import Table, format_table
 from .units import FEMTO, GIGA, KILO, MEGA, MICRO, MILLI, NANO, PICO, si_format
@@ -29,6 +30,9 @@ __all__ = [
     "ShapeError",
     "StateError",
     "check_shape",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
     "RandomState",
     "as_random_state",
     "Table",

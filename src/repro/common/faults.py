@@ -1,0 +1,282 @@
+"""Deterministic fault injection: named sites, seeded triggers, one plan.
+
+Production robustness cannot be tested by waiting for production to
+fail.  This module gives the repo a *fault plane*: code that has a
+failure mode declares a **site** (a dotted name like
+``pool.worker.crash``), and a test, a chaos scenario or a CLI run
+installs a :class:`FaultPlan` saying *when* each site fires.  Sites are
+free when no plan is installed — one dict lookup — so the production
+path pays nothing.
+
+Triggers are deterministic by construction:
+
+* ``nth=(2, 5)`` fires on the 2nd and 5th *visit* of the site in this
+  process (visits are counted per site, so a plan replays exactly);
+* ``probability=0.3`` draws per visit from a per-``(site, rule)``
+  stream derived from ``FaultPlan(seed)`` via
+  :class:`~repro.common.rng.RandomState` children — the draw sequence
+  depends only on the visit order at that site, never on other sites;
+* ``where={"worker": 0, "generation": 0}`` filters on the installer's
+  *context* (worker index, respawn generation, ...), so a plan can
+  crash only the original incarnation of worker 0 and let its respawn
+  run clean;
+* ``times=1`` caps firings per process.
+
+The plan travels: :class:`~repro.runtime.pool.WorkerPool` snapshots the
+active plan into its ``_PoolSpec``, and every worker (re)installs a
+**fresh** copy (:meth:`FaultPlan.fresh` — counters reset) with
+``worker=index, generation=n`` context, so child-process injection is
+reproducible regardless of start method or respawns.  Pickling a plan
+drops its counters for the same reason.
+
+Known sites (:data:`KNOWN_SITES`) are catalogued in
+``docs/robustness.md``; the chaos scenario kind
+(:mod:`repro.experiments.scenario`) validates its schedule against this
+catalog so a typo fails before any compute.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import dataclasses
+
+from .errors import ReproError
+from .rng import RandomState
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "active_plan",
+    "deactivate",
+    "hit",
+    "install",
+    "maybe_raise",
+    "should_fire",
+]
+
+#: The fault-site catalog — every site the library consults, with the
+#: failure it simulates (see docs/robustness.md for recovery semantics).
+KNOWN_SITES = (
+    "pool.worker.crash",    # worker process exits hard before a command
+    "pool.worker.hang",     # worker stops replying (sleeps past timeout)
+    "pool.reply.corrupt",   # worker sends a protocol-violating reply
+    "serve.tick.raise",     # the batched tick computation raises
+    "serve.request.raise",  # one request's isolated re-run raises
+    "serve.shadow.raise",   # the shadow (canary) stream raises
+    "hw.weights.stale",     # the hardware weight read fails
+)
+
+
+class FaultError(ReproError):
+    """The exception an exception-injecting fault site raises."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """When one site fires.
+
+    Parameters
+    ----------
+    site:
+        Exact site name (see :data:`KNOWN_SITES`).
+    nth:
+        1-based visit indices that fire (int or tuple of ints).
+    probability:
+        Per-visit Bernoulli firing probability in ``[0, 1]``, drawn
+        from the plan's per-``(site, rule)`` stream.
+    times:
+        Cap on firings per process (``None`` = unlimited).
+    where:
+        Context filters — a mapping the installer's context must
+        contain, e.g. ``{"worker": 0, "generation": 0}``.  Stored as a
+        sorted items tuple so rules stay hashable.
+    payload:
+        Site-specific knob (e.g. hang duration in seconds).
+    """
+
+    site: str
+    nth: tuple = ()
+    probability: float = 0.0
+    times: int | None = None
+    where: tuple = ()
+    payload: float | None = None
+
+    def __post_init__(self):
+        if not self.site:
+            raise ValueError("a fault rule needs a non-empty site")
+        nth = self.nth
+        if isinstance(nth, int):
+            nth = (nth,)
+        nth = tuple(sorted(int(n) for n in nth))
+        if any(n < 1 for n in nth):
+            raise ValueError(f"nth visits are 1-based, got {nth}")
+        object.__setattr__(self, "nth", nth)
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if not nth and self.probability == 0.0:
+            raise ValueError(
+                f"rule for {self.site!r} can never fire: give nth visits "
+                "and/or a probability")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        where = self.where
+        if isinstance(where, dict):
+            where = tuple(sorted(where.items()))
+        object.__setattr__(self, "where", tuple(where))
+
+    def matches_context(self, context: dict) -> bool:
+        return all(context.get(key) == value for key, value in self.where)
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus per-process state.
+
+    The rules and seed are the *plan* (immutable, picklable); the visit
+    counters, firing counts and probability streams are per-process
+    *state* and reset on :meth:`fresh` and on unpickling.  ``injected``
+    counts firings per site — the chaos harness reports its sum as the
+    ``faults_injected`` run-table column.
+    """
+
+    def __init__(self, rules, seed: int = 0):
+        self.rules: tuple[FaultRule, ...] = tuple(
+            FaultRule(**rule) if isinstance(rule, dict) else rule
+            for rule in rules)
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise TypeError(
+                    f"rules must be FaultRule or dicts, "
+                    f"got {type(rule).__name__}")
+        self.seed = int(seed)
+        self._reset()
+
+    def _reset(self) -> None:
+        self.visits: collections.Counter = collections.Counter()
+        self.injected: collections.Counter = collections.Counter()
+        self._fired: collections.Counter = collections.Counter()
+        self._streams: dict = {}
+
+    def fresh(self) -> "FaultPlan":
+        """A state-free copy (same rules and seed, zero counters)."""
+        return FaultPlan(self.rules, seed=self.seed)
+
+    # Pickling ships only the plan, never the state: a spawned worker
+    # must start counting visits from zero no matter how many the
+    # master had already counted.
+    def __getstate__(self) -> dict:
+        return {"rules": self.rules, "seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rules = state["rules"]
+        self.seed = state["seed"]
+        self._reset()
+
+    def _stream(self, site: str, rule_index: int):
+        key = (site, rule_index)
+        if key not in self._streams:
+            self._streams[key] = RandomState(self.seed).child(
+                f"{site}#{rule_index}")
+        return self._streams[key]
+
+    def hit(self, site: str, context: dict | None = None) -> FaultRule | None:
+        """Count one visit of ``site``; return the rule that fires, if any.
+
+        Every matching probabilistic rule draws exactly once per visit
+        (even when an earlier rule already fired), so the draw sequence
+        — and therefore the whole plan — is a pure function of per-site
+        visit order.
+        """
+        context = context or {}
+        self.visits[site] += 1
+        visit = self.visits[site]
+        fired = None
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not rule.matches_context(context):
+                continue
+            due = visit in rule.nth
+            if rule.probability > 0.0:
+                draw = float(self._stream(site, index).random())
+                due = due or draw < rule.probability
+            if not due:
+                continue
+            if rule.times is not None and self._fired[index] >= rule.times:
+                continue
+            if fired is None:
+                fired = rule
+                self._fired[index] += 1
+                self.injected[site] += 1
+        return fired
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({len(self.rules)} rules, seed={self.seed}, "
+                f"injected={sum(self.injected.values())})")
+
+
+# ---------------------------------------------------------------------------
+# Process-global installation
+# ---------------------------------------------------------------------------
+_ACTIVE: FaultPlan | None = None
+_CONTEXT: dict = {}
+
+
+def install(plan: FaultPlan, **context) -> FaultPlan:
+    """Make ``plan`` the process's active plan (replacing any other).
+
+    ``context`` keys (e.g. ``worker=1, generation=0``) are what rule
+    ``where`` filters match against.
+    """
+    global _ACTIVE, _CONTEXT
+    _ACTIVE = plan
+    _CONTEXT = dict(context)
+    return plan
+
+
+def deactivate() -> None:
+    """Remove the active plan; every site becomes a no-op again."""
+    global _ACTIVE, _CONTEXT
+    _ACTIVE = None
+    _CONTEXT = {}
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def active(plan: FaultPlan, **context):
+    """Scoped :func:`install`: restores the previous plan on exit."""
+    previous, previous_context = _ACTIVE, _CONTEXT
+    install(plan, **context)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            deactivate()
+        else:
+            install(previous, **previous_context)
+
+
+def hit(site: str) -> FaultRule | None:
+    """Visit ``site`` under the active plan; the firing rule or ``None``.
+
+    This is the function fault sites call: with no plan installed it
+    returns immediately without counting anything.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.hit(site, _CONTEXT)
+
+
+def should_fire(site: str) -> bool:
+    return hit(site) is not None
+
+
+def maybe_raise(site: str) -> None:
+    """Raise :class:`FaultError` if ``site`` fires under the active plan."""
+    if hit(site) is not None:
+        raise FaultError(f"injected fault at site {site!r}")

@@ -29,7 +29,7 @@ ID_COLUMNS = (
     "run_id",        # unique slug: scenario/engine-precision-...-rN
     "scenario",      # scenario name the row was expanded from
     "kind",          # forward | backward | train_step | inference |
-                     # variation | serving
+                     # variation | serving | chaos
     "engine",        # fused | step
     "precision",     # float64 | float32
     "workers",       # worker-pool size (0 = serial)
@@ -64,6 +64,14 @@ MEASUREMENT_COLUMNS = (
     "accuracy_std",    # variation: std over device seeds
     "divergence",      # serving (shadow): mean ideal-vs-hardware diff
     "energy_j",        # modeled crossbar+neuron energy of the work done
+    # Robustness columns (serving/chaos rows; clean runs fill the
+    # zero/1.0 defaults so the schema stays uniform):
+    "faults_injected",   # fault-plan firings observed during the run
+    "requests_retried",  # chunks completed via the isolation retry path
+    "requests_expired",  # chunks shed past their deadline (TTL)
+    "requests_failed",   # chunks whose ticket resolved with an error
+    "recovery_p99_ms",   # p99 latency of the retried chunks only
+    "availability",      # completed / (completed+failed+expired)
 )
 
 RUN_TABLE_COLUMNS = ID_COLUMNS + MEASUREMENT_COLUMNS

@@ -173,10 +173,13 @@ def throughput_report(table: RunTable, meta: dict | None = None) -> dict:
 
 def serving_row_to_report(row: dict) -> dict:
     """One serving run-table row back in ``ServingReport.to_dict`` shape."""
+    failed = row["requests_failed"] or 0
+    expired = row["requests_expired"] or 0
     return {
         "offered_rps": row["rate_rps"],
         "duration_s": row["duration_s"],
-        "submitted": (row["completed"] or 0) + (row["rejected"] or 0),
+        "submitted": ((row["completed"] or 0) + (row["rejected"] or 0)
+                      + failed + expired),
         "completed": row["completed"],
         "rejected": row["rejected"],
         "ticks": row["ticks"],
@@ -191,6 +194,13 @@ def serving_row_to_report(row: dict) -> dict:
             "max": row["max_ms"],
         },
         "divergence": row["divergence"],
+        "faults_injected": row["faults_injected"] or 0,
+        "requests_retried": row["requests_retried"] or 0,
+        "requests_expired": expired,
+        "requests_failed": failed,
+        "recovery_p99_ms": row["recovery_p99_ms"],
+        "availability": (1.0 if row["availability"] is None
+                         else row["availability"]),
     }
 
 
@@ -215,14 +225,25 @@ def serving_report(table: RunTable, meta: dict | None = None) -> dict:
         config = _serving_config_id(row)
         serving.setdefault(config, {})
         serving[config].setdefault(row["load"], serving_row_to_report(row))
-    if not serving:
+    # Chaos rows (serving under an injected fault schedule) land in a
+    # sibling section keyed by scenario name — their availability /
+    # retry / expiry counters are the robustness acceptance numbers.
+    chaos: dict = {}
+    for row in _rows(table, "chaos"):
+        chaos.setdefault(row["scenario"], {})
+        chaos[row["scenario"]].setdefault(row["load"],
+                                          serving_row_to_report(row))
+    if not serving and not chaos:
         raise ExperimentError(
-            "run table has no synthetic serving rows; run the 'serving' "
-            "preset before converting")
+            "run table has no synthetic serving rows (and no chaos rows); "
+            "run the 'serving' preset before converting")
     if meta is None:
         meta = {**environment_meta(),
                 "workload": serving_workload_meta()}
-    return {"meta": meta, "serving": serving}
+    report = {"meta": meta, "serving": serving}
+    if chaos:
+        report["chaos"] = chaos
+    return report
 
 
 def serving_workload_meta() -> dict:

@@ -24,11 +24,13 @@ Determinism contract (what ``tests/unit/test_harness.py`` pins down):
 
 The canonical grids live here too (:data:`PRESETS`): ``smoke`` (the CI
 seconds-scale grid), ``throughput`` / ``serving`` / ``aware`` (the three
-``BENCH_*.json`` sources) and ``full`` (their union).
+``BENCH_*.json`` sources), ``chaos`` (serving under seeded fault
+schedules — the availability rows) and ``full`` (their union).
 """
 
 from __future__ import annotations
 
+import contextlib
 import statistics
 import time
 
@@ -238,6 +240,7 @@ def _run_variation(spec: RunSpec, ctx: _HarnessContext) -> dict:
 
 
 def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
+    from ..common import faults as _faults
     from ..serve import ModelServer
     from ..serve.loadgen import open_loop
 
@@ -259,17 +262,26 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
         net, engine=spec.engine, precision=spec.precision,
         max_batch=scenario.max_batch, max_wait_ms=scenario.max_wait_ms,
         queue_limit=scenario.queue_limit, hardware=hardware,
-        shadow=spec.hardware.shadow if spec.hardware else False)
+        shadow=spec.hardware.shadow if spec.hardware else False,
+        request_ttl_ms=scenario.request_ttl_ms,
+        session_ttl_s=scenario.session_ttl_s)
+    # A chaos cell is the same open-loop run under an installed fault
+    # plan seeded from the run seed — the injected schedule is as
+    # reproducible as the arrival process.
+    plan = (_faults.FaultPlan(scenario.faults, seed=run_seed)
+            if spec.kind == "chaos" else None)
     try:
         # spike_density reaches the run through the workload itself
         # (ctx.workload builds synthetic components at the scenario's
         # density); open_loop ignores its spike_density arg when a
         # workload is passed.
-        report = open_loop(
-            server, sessions=scenario.sessions,
-            requests=spec.load.requests, chunk_steps=scenario.chunk_steps,
-            rate_rps=spec.load.rate_rps, rng=run_seed,
-            workload=workload, timer=ctx.timer)
+        with _faults.active(plan) if plan is not None else _noop():
+            report = open_loop(
+                server, sessions=scenario.sessions,
+                requests=spec.load.requests,
+                chunk_steps=scenario.chunk_steps,
+                rate_rps=spec.load.rate_rps, rng=run_seed,
+                workload=workload, timer=ctx.timer)
     finally:
         server.close()
     latency = report.latency_ms
@@ -290,7 +302,18 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
         "max_ms": latency["max"],
         "divergence": report.divergence,
         "energy_j": modeled_energy_j(steps_served, sum(sizes[1:])),
+        "faults_injected": report.faults_injected,
+        "requests_retried": report.requests_retried,
+        "requests_expired": report.requests_expired,
+        "requests_failed": report.requests_failed,
+        "recovery_p99_ms": report.recovery_p99_ms,
+        "availability": report.availability,
     }
+
+
+@contextlib.contextmanager
+def _noop():
+    yield
 
 
 _RUNNERS = {
@@ -300,6 +323,7 @@ _RUNNERS = {
     "inference": _run_inference,
     "variation": _run_variation,
     "serving": _run_serving,
+    "chaos": _run_serving,
 }
 
 
@@ -353,6 +377,12 @@ def run_scenario(scenario: Scenario, table: RunTable | None = None,
 
 
 def _render_row(row: dict) -> str:
+    if row["kind"] == "chaos":
+        return (f"{row['run_id']:<56} {row['throughput_rps']:9.1f} rps  "
+                f"avail {row['availability']:.4f}  "
+                f"faults {row['faults_injected']}  "
+                f"retried {row['requests_retried']}  "
+                f"expired {row['requests_expired']}")
     if row["kind"] == "serving":
         return (f"{row['run_id']:<56} {row['throughput_rps']:9.1f} rps  "
                 f"p95 {row['p95_ms'] if row['p95_ms'] is not None else 'n/a'}"
@@ -469,10 +499,50 @@ def smoke_scenarios() -> list:
     ]
 
 
+def chaos_scenarios() -> list:
+    """The chaos grid: open-loop serving under seeded fault schedules.
+
+    Each scenario exercises one rung of the degradation ladder
+    (``docs/robustness.md``): per-request isolation + whole-tick retry,
+    hardware->ideal weight fallback, and the shadow-path circuit
+    breaker.  Fault schedules derive from the per-run seed, so a chaos
+    row is exactly as reproducible as a clean serving row.
+    """
+    chaos_load = (LoadSpec("steady", 500.0, 240),)
+    common = dict(kind="chaos", loads=chaos_load, sizes=(700, 32, 16),
+                  sessions=8, chunk_steps=8, max_batch=8,
+                  queue_limit=64, seed=7)
+    return [
+        # Poisoned chunks fail in isolation while innocent batch-mates
+        # complete via the retry path; two whole ticks also fail.
+        Scenario(name="chaos-isolation",
+                 faults=({"site": "serve.request.raise",
+                          "probability": 0.02},
+                         {"site": "serve.tick.raise", "nth": (3, 11)}),
+                 request_ttl_ms=250.0, session_ttl_s=60.0, **common),
+        # Hardware weight reads fail intermittently: chunks are served
+        # degraded on ideal weights instead of erroring.
+        Scenario(name="chaos-hw-fallback",
+                 hardware=(HardwareSpec(bits=4, variation=0.1, seed=7),),
+                 faults=({"site": "hw.weights.stale",
+                          "probability": 0.1},),
+                 **common),
+        # The shadow path raises until its circuit breaker trips; the
+        # primary path must keep answering throughout.
+        Scenario(name="chaos-shadow-breaker",
+                 hardware=(HardwareSpec(bits=4, variation=0.1, seed=7,
+                                        shadow=True),),
+                 faults=({"site": "serve.shadow.raise",
+                          "nth": (1, 2, 3)},),
+                 **common),
+    ]
+
+
 def full_scenarios(rounds: int = 10,
                    worker_counts: tuple = (0, 1, 2, 4)) -> list:
     return (throughput_scenarios(rounds, worker_counts)
-            + aware_scenarios(rounds) + serving_scenarios())
+            + aware_scenarios(rounds) + serving_scenarios()
+            + chaos_scenarios())
 
 
 PRESETS = {
@@ -480,6 +550,7 @@ PRESETS = {
     "throughput": throughput_scenarios,
     "aware": aware_scenarios,
     "serving": serving_scenarios,
+    "chaos": chaos_scenarios,
     "full": full_scenarios,
 }
 

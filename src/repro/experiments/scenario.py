@@ -1,7 +1,7 @@
 """Declarative scenario schema: a factor grid that expands into runs.
 
 A :class:`Scenario` names one *kind* of measurement (forward, backward,
-train_step, inference, variation, serving) and the factor levels to
+train_step, inference, variation, serving, chaos) and the factor levels to
 sweep — engine x precision x workers x hardware realization x workload x
 load point — plus repetitions and a seed.  :func:`expand` turns it into
 a deterministic, ordered tuple of :class:`RunSpec` grid cells: the same
@@ -30,11 +30,13 @@ from ..common.benchcfg import (
     BENCH_SPIKE_DENSITY,
 )
 from ..common.errors import ExperimentError
+from ..common.faults import KNOWN_SITES, FaultRule
 
 __all__ = [
     "KINDS",
     "ENGINES",
     "PRECISIONS",
+    "SERVING_KINDS",
     "HardwareSpec",
     "LoadSpec",
     "RunSpec",
@@ -43,12 +45,17 @@ __all__ = [
 ]
 
 KINDS = ("forward", "backward", "train_step", "inference", "variation",
-         "serving")
+         "serving", "chaos")
 ENGINES = ("fused", "step")
 PRECISIONS = ("float64", "float32")
 
 #: Kinds whose cells accept a worker-pool factor.
 POOLED_KINDS = ("train_step", "inference", "variation")
+
+#: Kinds that drive a ModelServer with an open-loop arrival process.
+#: ``chaos`` is serving under an injected fault schedule — same factors,
+#: same measurement columns, plus the robustness counters.
+SERVING_KINDS = ("serving", "chaos")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -165,6 +172,10 @@ class Scenario:
     max_wait_ms: float = 5.0   # serving kind: coalescing window
     queue_limit: int = 128     # serving kind: bounded-queue depth
     spike_density: float = BENCH_SPIKE_DENSITY
+    # -- robustness knobs (serving kinds; required for kind="chaos") ---------
+    faults: tuple = ()              # FaultRule levels (or dicts) to inject
+    request_ttl_ms: float | None = None   # per-request deadline (TTL shed)
+    session_ttl_s: float | None = None    # idle-session reaping horizon
 
     def __post_init__(self):
         coerce = _normalize_factors(self)
@@ -233,7 +244,7 @@ class Scenario:
         for spec in self.hardware:
             if spec is None:
                 continue
-            if spec.shadow and self.kind != "serving":
+            if spec.shadow and self.kind not in SERVING_KINDS:
                 raise ExperimentError(
                     f"scenario {self.name!r}: shadow hardware is a serving "
                     f"mode; kind {self.kind!r} cannot use it")
@@ -243,7 +254,7 @@ class Scenario:
                 f"scenario {self.name!r}: kind {self.kind!r} has no "
                 "hardware factor; sweep hardware via train_step, "
                 "variation, or serving scenarios")
-        if self.kind == "serving" \
+        if self.kind in SERVING_KINDS \
                 and any(spec is not None for spec in self.hardware) \
                 and "step" in self.engines:
             raise ExperimentError(
@@ -255,7 +266,7 @@ class Scenario:
             raise ExperimentError(
                 f"scenario {self.name!r}: a variation sweep needs concrete "
                 "HardwareSpec levels (bits/variation are what it measures)")
-        if self.kind == "serving":
+        if self.kind in SERVING_KINDS:
             if any(w is None for w in self.workloads):
                 raise ExperimentError(
                     f"scenario {self.name!r}: serving workloads must be "
@@ -274,6 +285,33 @@ class Scenario:
                 raise ExperimentError(
                     f"scenario {self.name!r}: load points are a serving "
                     f"factor; kind {self.kind!r} has no arrival process")
+        if self.kind == "chaos" and not self.faults:
+            raise ExperimentError(
+                f"scenario {self.name!r}: a chaos scenario needs at least "
+                "one fault rule ({'site': ..., 'probability'|'nth': ...}); "
+                "a faultless run is kind='serving'")
+        if self.faults and self.kind != "chaos":
+            raise ExperimentError(
+                f"scenario {self.name!r}: fault rules belong to "
+                f"kind='chaos', not {self.kind!r} — measurements under "
+                "injected faults must be labelled as such in the run table")
+        for rule in self.faults:
+            if rule.site not in KNOWN_SITES:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: unknown fault site "
+                    f"{rule.site!r}; known sites: {list(KNOWN_SITES)}")
+        for knob, value in (("request_ttl_ms", self.request_ttl_ms),
+                            ("session_ttl_s", self.session_ttl_s)):
+            if value is None:
+                continue
+            if self.kind not in SERVING_KINDS:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: {knob} is a serving knob; "
+                    f"kind {self.kind!r} has no request lifecycle")
+            if not value > 0:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: {knob} must be > 0, "
+                    f"got {value!r}")
         for workload in self.workloads:
             if workload is not None:
                 _check_workload_name(workload)
@@ -335,7 +373,22 @@ def _normalize_factors(scenario: Scenario) -> dict:
             raise ExperimentError(
                 f"scenario {scenario.name!r}: load levels must be None, "
                 f"dicts, or LoadSpec, got {type(load).__name__}")
-    if scenario.kind == "serving" and out["workloads"] == (None,):
+    faults = getattr(scenario, "faults")
+    if isinstance(faults, (dict, FaultRule)):
+        faults = (faults,)
+    try:
+        out["faults"] = tuple(
+            FaultRule(**rule) if isinstance(rule, dict) else rule
+            for rule in faults)
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"scenario {scenario.name!r}: invalid fault rule: {exc}")
+    for rule in out["faults"]:
+        if not isinstance(rule, FaultRule):
+            raise ExperimentError(
+                f"scenario {scenario.name!r}: fault levels must be dicts "
+                f"or FaultRule, got {type(rule).__name__}")
+    if scenario.kind in SERVING_KINDS and out["workloads"] == (None,):
         out["workloads"] = ("synthetic",)
     return out
 

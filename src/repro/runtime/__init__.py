@@ -9,7 +9,10 @@ This package scales the fused simulation engine across processes:
   Fig. 8 device-noise seeds and generic sweep tasks;
 * :mod:`repro.runtime.parallel` — the deterministic shard split and
   fixed-order reduction shared by the serial and pooled paths (the basis
-  of the bitwise parallel == serial equivalence tests).
+  of the bitwise parallel == serial equivalence tests);
+* :mod:`repro.runtime.supervisor` — the restart policy behind the pool's
+  self-healing: dead/hung workers are respawned from the original spec
+  and their in-flight shards requeued, bitwise-transparently.
 
 Everything is opt-in: ``workers=0`` (the default everywhere, including
 ``TrainerConfig``) keeps the serial in-process behavior bit-for-bit.  Set
@@ -26,11 +29,15 @@ from .parallel import (
     shard_grads,
     shard_slices,
 )
-from .pool import PoolCache, WorkerError, WorkerPool
+from .pool import PoolCache, PoolTransportError, WorkerError, WorkerPool
+from .supervisor import RestartPolicy, WorkerSupervisor
 from .workspace import Workspace
 
 __all__ = [
     "PoolCache",
+    "PoolTransportError",
+    "RestartPolicy",
+    "WorkerSupervisor",
     "Workspace",
     "WorkerError",
     "WorkerPool",

@@ -36,9 +36,28 @@ Work units are deliberately identical to the serial path's:
 
 Each worker owns a :class:`~repro.runtime.workspace.Workspace`, so
 steady-state training allocates nothing per batch on either side of the
-pipe.  Failures inside a worker are caught, formatted, and re-raised in
-the master with the worker traceback attached; a dead worker turns the
-next dispatch into a ``RuntimeError`` instead of a hang.
+pipe.  Failures split into two kinds with opposite handling:
+
+* a :class:`WorkerError` — user code raised *inside* a worker — is
+  caught there, formatted, and re-raised in the master with the worker
+  traceback attached.  Deterministic code fails deterministically, so
+  these are never retried;
+* a :class:`PoolTransportError` — dead process, reply timeout, corrupt
+  reply — triggers **self-healing**: a
+  :class:`~repro.runtime.supervisor.WorkerSupervisor` respawns the
+  failed worker from the original spec and the dispatch requeues
+  exactly its in-flight commands, with bounded attempts and exponential
+  backoff.  Because the arenas are master-owned and replicas rebuild
+  deterministically, a healed dispatch returns results bitwise-equal to
+  a fault-free run.
+
+Fault injection (:mod:`repro.common.faults`): constructing a pool under
+an active :class:`~repro.common.faults.FaultPlan` snapshots the plan
+into the ``_PoolSpec``; each worker generation installs a fresh copy
+with ``worker=index, generation=n`` context and consults the
+``pool.worker.crash`` / ``pool.worker.hang`` / ``pool.reply.corrupt``
+sites, so crash-recovery paths are exercised reproducibly in tests and
+chaos scenarios.
 """
 
 from __future__ import annotations
@@ -56,7 +75,10 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["WorkerPool", "WorkerError", "PoolCache"]
+from ..common import faults as _faults
+from .supervisor import RestartPolicy, WorkerSupervisor
+
+__all__ = ["WorkerPool", "WorkerError", "PoolTransportError", "PoolCache"]
 
 #: Pools that still own shared-memory segments.  An atexit hook closes
 #: them because ``__del__`` alone is not enough at interpreter shutdown:
@@ -82,6 +104,23 @@ class WorkerError(RuntimeError):
     survives a :class:`WorkerError` and its pipe stays usable, so the pool
     drains in-flight replies and remains open.
     """
+
+
+class PoolTransportError(RuntimeError):
+    """The pipe to one or more workers can no longer be trusted.
+
+    Raised when a worker process dies, stops replying within the
+    timeout, or delivers a reply that violates the protocol.  Carries
+    the affected worker indices in :attr:`workers` so the dispatch loop
+    can heal exactly those workers and requeue their in-flight shards.
+    Reaches callers only once the per-dispatch restart budget is
+    exhausted (the pool is closed first).
+    """
+
+    def __init__(self, message: str, workers=()):
+        super().__init__(message)
+        self.workers = tuple(workers)
+
 
 _ALIGN = 64  # byte alignment for per-layer / per-worker shm regions
 
@@ -158,6 +197,9 @@ class _PoolSpec:
     weight_offsets: list | None  # per-layer byte offsets into the block
     weight_shapes: list | None
     loss: object | None
+    #: Snapshot of the fault plan active when the pool was built; each
+    #: worker generation installs a fresh (zero-counter) copy.
+    fault_plan: object | None = None
 
 
 class _WorkerState:
@@ -233,8 +275,19 @@ class _WorkerState:
         self.blocks.clear()
 
 
-def _worker_main(spec: _PoolSpec, conn) -> None:
+def _worker_main(spec: _PoolSpec, conn, index: int = 0,
+                 generation: int = 0) -> None:
     """Command loop executed in each worker process."""
+    # Fault injection is spec-driven, never inherited: a forked child
+    # starts with the master's active plan (shared counters and all), so
+    # it is replaced with a fresh per-process copy — or removed.  The
+    # context names this incarnation, letting rules target e.g. only the
+    # original generation of worker 0.
+    if spec.fault_plan is not None:
+        _faults.install(spec.fault_plan.fresh(), worker=index,
+                        generation=generation)
+    else:
+        _faults.deactivate()
     state = _WorkerState(spec)
     try:
         conn.send(("ready", os.getpid()))
@@ -243,6 +296,13 @@ def _worker_main(spec: _PoolSpec, conn) -> None:
             cmd = msg["cmd"]
             if cmd == "stop":
                 break
+            if _faults.should_fire("pool.worker.crash"):
+                os._exit(13)  # hard crash: no cleanup, no reply
+            rule = _faults.hit("pool.worker.hang")
+            if rule is not None:
+                # Stop replying for longer than any sane timeout; the
+                # supervisor will terminate this process.
+                time.sleep(3600.0 if rule.payload is None else rule.payload)
             try:
                 reply = ("ok", _handle(state, msg))
             except Exception:
@@ -250,6 +310,8 @@ def _worker_main(spec: _PoolSpec, conn) -> None:
                 # raising BrokenPipeError itself) is a worker error to
                 # report, not a transport failure.
                 reply = ("error", traceback.format_exc())
+            if _faults.should_fire("pool.reply.corrupt"):
+                reply = "corrupt-reply"  # protocol violation, not a 2-tuple
             try:
                 conn.send(reply)
             except OSError:
@@ -337,11 +399,16 @@ class WorkerPool:
     timeout:
         Seconds to wait for any single worker reply before raising
         (default from ``REPRO_POOL_TIMEOUT``, else 600).
+    restart_policy:
+        Bounds and pacing of self-healing worker restarts (a
+        :class:`~repro.runtime.supervisor.RestartPolicy`; the defaults
+        allow 3 heal rounds per dispatch).
     """
 
     def __init__(self, network=None, workers: int = 1, loss=None,
                  start_method: str | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 restart_policy: RestartPolicy | None = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.network = network
@@ -349,6 +416,10 @@ class WorkerPool:
         if timeout is None:
             timeout = float(os.environ.get("REPRO_POOL_TIMEOUT", "600"))
         self.timeout = timeout
+        #: Lifetime robustness counters: ``restarts`` (workers respawned)
+        #: and ``retries`` (in-flight commands requeued after a heal).
+        self.stats = {"restarts": 0, "retries": 0}
+        self._supervisor = WorkerSupervisor(self, restart_policy)
         # Every attribute close() touches exists before anything that can
         # raise, so a failed constructor (bad start method, spawn failure)
         # still unlinks whatever shared memory it had already created.
@@ -358,21 +429,18 @@ class WorkerPool:
         self._arenas: dict[str, _Arena] = {}
         self._conns = []
         self._procs = []
+        self._generations = [0] * self.workers
         try:
-            spec = self._build_spec(network, loss)
+            self._spec = self._build_spec(network, loss)
             self._arenas = {
                 tag: _Arena(tag)
                 for tag in ("inputs", "targets", "outputs", "grads")
             }
-            ctx = mp.get_context(start_method or _default_start_method())
+            self._ctx = mp.get_context(start_method
+                                       or _default_start_method())
             for index in range(self.workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(target=_worker_main,
-                                   args=(spec, child_conn), daemon=True,
-                                   name=f"repro-worker-{index}")
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
+                proc, conn = self._spawn_worker(index)
+                self._conns.append(conn)
                 self._procs.append(proc)
             for index in range(self.workers):
                 self._recv(index)  # "ready" handshake
@@ -381,10 +449,25 @@ class WorkerPool:
             raise
         _LIVE_POOLS.add(self)
 
+    def _spawn_worker(self, index: int):
+        """Start one worker process for slot ``index`` (current generation)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._spec, child_conn, index, self._generations[index]),
+            daemon=True, name=f"repro-worker-{index}")
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     # -- construction helpers ----------------------------------------------
     def _build_spec(self, network, loss) -> _PoolSpec:
+        # Snapshot the active fault plan (if any) so child processes
+        # inject reproducibly no matter the start method.
+        plan = _faults.active_plan()
         if network is None:
-            return _PoolSpec(None, None, None, None, None, None, None, loss)
+            return _PoolSpec(None, None, None, None, None, None, None, loss,
+                             fault_plan=plan)
         offsets, shapes = [], []
         cursor = 0
         for layer in network.layers:
@@ -406,7 +489,7 @@ class WorkerPool:
             neuron_kind=network.neuron_kind,
             surrogates=[layer.surrogate for layer in network.layers],
             weight_ref=weight_ref, weight_offsets=offsets,
-            weight_shapes=shapes, loss=loss,
+            weight_shapes=shapes, loss=loss, fault_plan=plan,
         )
 
     def sync_weights(self, weights=None) -> None:
@@ -434,19 +517,37 @@ class WorkerPool:
             np.copyto(view, weight)
 
     # -- message plumbing ---------------------------------------------------
-    def _recv(self, index: int):
+    def _recv(self, index: int, timeout: float | None = None):
         conn = self._conns[index]
-        deadline = time.monotonic() + self.timeout
+        timeout = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
         while not conn.poll(0.2):
             if not self._procs[index].is_alive():
-                raise RuntimeError(
+                # A dead worker's pipe may still hold completed replies;
+                # drain those before declaring the transport broken.
+                if conn.poll(0):
+                    break
+                raise PoolTransportError(
                     f"pool worker {index} died (exit code "
-                    f"{self._procs[index].exitcode})")
+                    f"{self._procs[index].exitcode})", workers=(index,))
             if time.monotonic() > deadline:
-                raise TimeoutError(
+                raise PoolTransportError(
                     f"pool worker {index} unresponsive after "
-                    f"{self.timeout:.0f}s")
-        status, payload = conn.recv()
+                    f"{timeout:.0f}s", workers=(index,))
+        try:
+            reply = conn.recv()
+            status, payload = reply
+            if status not in ("ready", "ok", "error"):
+                raise ValueError(f"unknown reply status {status!r}")
+        except (WorkerError, PoolTransportError):
+            raise
+        except Exception as exc:
+            # EOF mid-message, an unpicklable stream, or a reply that is
+            # not a valid (status, payload) pair: the pipe contents can
+            # no longer be paired with commands.
+            raise PoolTransportError(
+                f"pool worker {index} sent a corrupt reply ({exc!r})",
+                workers=(index,)) from exc
         if status == "error":
             raise WorkerError(
                 f"pool worker {index} raised:\n{payload}")
@@ -464,23 +565,36 @@ class WorkerPool:
     #: an arbitrarily large send still streams through.
     _WINDOW_BYTES = 1 << 14
 
-    def _dispatch(self, assignments):
+    def _dispatch(self, assignments, timeout: float | None = None):
         """Send ``[(worker, msg), ...]`` and collect replies in list order.
 
         Sends are interleaved with receives, bounded per worker both in
         count (:attr:`_WINDOW`) and in pickled bytes
         (:attr:`_WINDOW_BYTES`).  Pipes are FIFO per worker, so replies
         pair with commands in send order; results are reassembled into
-        the original sequence.  If any reply is an error, the remaining
-        in-flight replies are drained first (the workers themselves
-        survive — they caught the exception) so the pipes stay aligned
-        with the protocol and the pool remains usable; a worker that
-        cannot be drained closes the whole pool.
+        the original sequence.
+
+        Failure handling:
+
+        * :class:`WorkerError` (user code raised in a worker): the
+          remaining in-flight replies are drained first (the workers
+          themselves survive — they caught the exception) so the pipes
+          stay aligned with the protocol and the pool remains usable,
+          then the error propagates.  Never retried.
+        * :class:`PoolTransportError` (dead / hung / corrupt worker):
+          the supervisor respawns the failed workers and their in-flight
+          commands are requeued — results stay bitwise-equal to a
+          fault-free run because the staged arenas, the command bytes
+          and the rebuilt replicas are all identical.  After
+          ``restart_policy.max_restarts`` heal rounds the pool closes
+          and the transport error propagates.
         """
         self._check_open()
         queues: dict[int, collections.deque] = {}
+        bufs: list[bytes] = [b""] * len(assignments)
         for position, (worker, msg) in enumerate(assignments):
             buf = pickle.dumps(msg)
+            bufs[position] = buf
             queues.setdefault(worker, collections.deque()).append(
                 (position, buf))
         inflight = {worker: collections.deque() for worker in queues}
@@ -496,40 +610,100 @@ class WorkerPool:
                 return not inflight[worker]  # oversized: idle worker only
             return inflight_bytes[worker] + nbytes <= self._WINDOW_BYTES
 
-        try:
-            while any(queues.values()) or any(inflight.values()):
-                for worker in queues:
-                    while can_send(worker):
-                        position, buf = queues[worker].popleft()
+        def send_pending() -> None:
+            for worker in queues:
+                while can_send(worker):
+                    position, buf = queues[worker][0]
+                    try:
                         self._conns[worker].send_bytes(buf)
-                        inflight[worker].append((position, len(buf)))
-                        inflight_bytes[worker] += len(buf)
-                worker = self._wait_any(
-                    [w for w, pending in inflight.items() if pending])
-                # Pop before recv: if recv raises a WorkerError, the reply
-                # WAS consumed — the drain must not wait for it again.
-                position, nbytes = inflight[worker].popleft()
-                inflight_bytes[worker] -= nbytes
-                results[position] = self._recv(worker)
-        except WorkerError:
-            # The worker survived and its reply was consumed; drain the
-            # other in-flight replies so the pipes stay aligned and the
-            # pool remains usable.  (Unsent queue entries never reached a
-            # pipe, so dropping them cannot desynchronize anything.)
-            self._drain({w: len(pending) for w, pending in inflight.items()})
-            raise
-        except Exception:
-            # Transport failure (dead or unresponsive worker): the pipes
-            # cannot be trusted any more — fail loudly from now on.
-            self.close()
-            raise
-        return results
+                    except (BrokenPipeError, OSError) as exc:
+                        # The command never entered the pipe (connection
+                        # side is gone); leave it queued for the heal.
+                        raise PoolTransportError(
+                            f"pool worker {worker} pipe broke on send "
+                            f"({exc!r})", workers=(worker,)) from exc
+                    queues[worker].popleft()
+                    inflight[worker].append((position, len(buf)))
+                    inflight_bytes[worker] += len(buf)
 
-    def _wait_any(self, workers: list[int]) -> int:
+        heal_rounds = 0
+        to_heal: tuple = ()
+        while True:
+            try:
+                # Healing runs inside the try: a replacement worker that
+                # fails its handshake re-enters the bounded handler below
+                # instead of escaping the retry loop.
+                if to_heal:
+                    failed, to_heal = to_heal, ()
+                    self._heal(failed, queues, inflight, inflight_bytes,
+                               bufs)
+                while any(queues.values()) or any(inflight.values()):
+                    send_pending()
+                    worker = self._wait_any(
+                        [w for w, pending in inflight.items() if pending],
+                        timeout=timeout)
+                    position, nbytes = inflight[worker][0]
+                    try:
+                        results[position] = self._recv(worker,
+                                                       timeout=timeout)
+                    except WorkerError:
+                        # The "error" reply WAS consumed — account for it
+                        # before draining so the drain does not wait for
+                        # a reply that already arrived.
+                        inflight[worker].popleft()
+                        inflight_bytes[worker] -= nbytes
+                        raise
+                    inflight[worker].popleft()
+                    inflight_bytes[worker] -= nbytes
+                return results
+            except WorkerError:
+                # Deterministic user-code failure: drain, stay open,
+                # never retry.  (Unsent queue entries never reached a
+                # pipe, so dropping them cannot desynchronize anything.)
+                self._drain({w: len(pending)
+                             for w, pending in inflight.items()})
+                raise
+            except PoolTransportError as exc:
+                if self._closed:
+                    raise  # healing a closing pool would resurrect it
+                heal_rounds += 1
+                if heal_rounds > self._supervisor.policy.max_restarts:
+                    self.close()
+                    raise
+                to_heal = exc.workers
+
+    def _heal(self, failed, queues, inflight, inflight_bytes, bufs) -> None:
+        """Respawn ``failed`` workers and requeue their in-flight commands.
+
+        Requeued commands go to the *front* of the worker's queue in
+        their original send order, so the replacement worker replays the
+        exact FIFO the failed one saw.  Raises
+        :class:`PoolTransportError` if a replacement fails its
+        handshake — the caller's bounded loop counts that as another
+        heal round.
+        """
+        for worker in failed:
+            pending = inflight.get(worker)
+            if pending is None:
+                # Failure outside this dispatch's worker set (e.g. the
+                # handshake of a previous heal): respawn only.
+                self._supervisor.restart(worker)
+                continue
+            requeued = [(position, bufs[position])
+                        for position, _ in pending]
+            self.stats["retries"] += len(requeued)
+            queues[worker].extendleft(reversed(requeued))
+            pending.clear()
+            inflight_bytes[worker] = 0
+            self._supervisor.restart(worker)
+
+    def _wait_any(self, workers: list[int],
+                  timeout: float | None = None) -> int:
         """Block until one of ``workers`` has a reply ready; return it."""
         from multiprocessing.connection import wait as _conn_wait
 
-        deadline = time.monotonic() + self.timeout
+        timeout = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
         conn_to_worker = {self._conns[w]: w for w in workers}
         while True:
             ready = _conn_wait(list(conn_to_worker), timeout=0.2)
@@ -537,13 +711,16 @@ class WorkerPool:
                 return conn_to_worker[ready[0]]
             for worker in workers:
                 if not self._procs[worker].is_alive():
-                    raise RuntimeError(
+                    raise PoolTransportError(
                         f"pool worker {worker} died (exit code "
-                        f"{self._procs[worker].exitcode})")
+                        f"{self._procs[worker].exitcode})",
+                        workers=(worker,))
             if time.monotonic() > deadline:
-                raise TimeoutError(
+                # No way to tell which of the awaited workers hung;
+                # the heal replaces all of them.
+                raise PoolTransportError(
                     f"pool workers {workers} unresponsive after "
-                    f"{self.timeout:.0f}s")
+                    f"{timeout:.0f}s", workers=tuple(workers))
 
     def _drain(self, outstanding: dict[int, int]) -> None:
         """Consume (and discard) in-flight replies after a dispatch in
@@ -602,7 +779,8 @@ class WorkerPool:
 
     def run_sharded(self, inputs: np.ndarray, batch_size: int,
                     engine: str = "fused", precision=None,
-                    neuron_kind: str | None = None) -> np.ndarray:
+                    neuron_kind: str | None = None,
+                    timeout: float | None = None) -> np.ndarray:
         """Forward-only inference over ``inputs``, chunked exactly like the
         serial ``run_in_batches`` and distributed round-robin.
 
@@ -611,6 +789,10 @@ class WorkerPool:
         calls on the same chunk boundaries.  Inputs larger than
         :attr:`ARENA_CAP_BYTES` are staged and dispatched in bounded
         windows of whole chunks.
+
+        ``timeout`` overrides the pool-wide reply timeout for this call
+        only — latency-sensitive callers (serving ticks) should not
+        share a 600 s training default.
         """
         from ..core.engine import resolve_precision
 
@@ -627,11 +809,12 @@ class WorkerPool:
             count = min(window, n - window_start)
             self._run_window(inputs[window_start:window_start + count],
                              outputs[window_start:window_start + count],
-                             batch_size, engine, precision, neuron_kind)
+                             batch_size, engine, precision, neuron_kind,
+                             timeout)
         return outputs
 
     def _run_window(self, inputs, outputs, batch_size, engine, precision,
-                    neuron_kind) -> None:
+                    neuron_kind, timeout=None) -> None:
         """Stage one bounded window and dispatch its chunks round-robin."""
         n, steps, _ = inputs.shape
         n_out = outputs.shape[2]
@@ -655,12 +838,13 @@ class WorkerPool:
                 "neuron_kind": neuron_kind,
             }
             assignments.append((index % self.workers, msg))
-        self._dispatch(assignments)
+        self._dispatch(assignments, timeout=timeout)
         np.copyto(outputs, out_arena.view((n, steps, n_out), dtype))
 
     def grad_shards(self, inputs: np.ndarray, targets: np.ndarray,
                     slices: list[slice], mode: str = "exact",
-                    engine: str = "fused", precision=None, weights=None):
+                    engine: str = "fused", precision=None, weights=None,
+                    timeout: float | None = None):
         """Run one gradient shard per worker; returns per-shard
         ``(loss, n, grads)`` in shard order (the fixed reduction order).
 
@@ -723,7 +907,7 @@ class WorkerPool:
                 "precision": precision,
             }
             assignments.append((index, msg))
-        replies = self._dispatch(assignments)
+        replies = self._dispatch(assignments, timeout=timeout)
         results = []
         for (loss_value, shard_n), grad_refs in zip(replies,
                                                     grad_refs_per_shard):
@@ -735,7 +919,8 @@ class WorkerPool:
 
     def hw_eval(self, inputs: np.ndarray, labels: np.ndarray, tasks,
                 batch_size: int = 64, engine: str = "fused",
-                precision=None, device=None) -> list[float]:
+                precision=None, device=None,
+                timeout: float | None = None) -> list[float]:
         """One Fig. 8 accuracy per ``(bits, variation, seed)`` task.
 
         The evaluation set and labels are staged in shared memory for the
@@ -778,24 +963,33 @@ class WorkerPool:
                 })
                 for index, (bits, variation, seed) in enumerate(tasks)
             ]
-            for index, count in enumerate(self._dispatch(assignments)):
+            for index, count in enumerate(
+                    self._dispatch(assignments, timeout=timeout)):
                 counts[index] += count
         return [count / n for count in counts]
 
-    def map(self, fn, items) -> list:
+    def map(self, fn, items, timeout: float | None = None) -> list:
         """``[fn(item) for item in items]`` over the workers, in order."""
         assignments = [
             (index % self.workers, {"cmd": "task", "payload": (fn, item)})
             for index, item in enumerate(items)
         ]
-        return self._dispatch(assignments)
+        return self._dispatch(assignments, timeout=timeout)
 
     # -- lifecycle ----------------------------------------------------------
+    #: Seconds granted per escalation stage in :meth:`close` (stop →
+    #: terminate → kill).  A class attribute so tests exercising the
+    #: escalation can shrink it without waiting out real grace periods.
+    _CLOSE_GRACE_S = 5.0
+
     def close(self) -> None:
         """Stop the workers and free every shared-memory block.
 
-        Idempotent, and deliberately quiet: it is the path taken after
-        transport failures (dead/hung workers) and from ``__del__`` or the
+        Escalates per worker: a cooperative ``stop`` command, then
+        SIGTERM, then SIGKILL — a signal-ignoring worker must not leak
+        its process and pinned shared memory.  Idempotent, and
+        deliberately quiet: it is the path taken after transport
+        failures (dead/hung workers) and from ``__del__`` or the
         atexit hook at interpreter shutdown, so every step tolerates
         already-broken pipes and already-gone processes instead of
         raising or warning (pinned by ``tests/unit/test_runtime.py``).
@@ -811,10 +1005,13 @@ class WorkerPool:
                 pass
         for proc in self._procs:
             try:
-                proc.join(timeout=5)
+                proc.join(timeout=self._CLOSE_GRACE_S)
                 if proc.is_alive():  # pragma: no cover - stuck worker
                     proc.terminate()
-                    proc.join(timeout=5)
+                    proc.join(timeout=self._CLOSE_GRACE_S)
+                if proc.is_alive():  # SIGTERM ignored: escalate
+                    proc.kill()
+                    proc.join(timeout=self._CLOSE_GRACE_S)
             except (OSError, ValueError, AssertionError):
                 pass  # pragma: no cover - interpreter teardown races
         for conn in self._conns:

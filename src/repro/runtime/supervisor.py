@@ -1,0 +1,122 @@
+"""Worker restart machinery for the self-healing :class:`WorkerPool`.
+
+A transport failure — a worker process that died, stopped replying, or
+sent a protocol-violating reply — used to close the whole pool.  That is
+the wrong trade for fleet-style runs: every surviving worker holds a
+warm network replica and attached shared memory, and the failed shard is
+deterministically recomputable (the arenas are master-owned, the command
+is still in hand, and replicas rebuild bit-identically from the
+``_PoolSpec``).  So the pool now *heals*: it hands the failed worker
+indices to a :class:`WorkerSupervisor`, which
+
+1. reclaims the old process (``terminate()``, escalating to ``kill()``
+   for a SIGTERM-ignoring worker) and closes its pipe,
+2. waits an exponential backoff (restart storms must not busy-spin a
+   machine that is actually out of memory),
+3. respawns the worker from the pool's original spec at an incremented
+   **generation** (fault rules scoped ``where={"generation": 0}`` stop
+   firing in the replacement — see :mod:`repro.common.faults`),
+4. completes the ``ready`` handshake.
+
+The dispatch then requeues exactly the in-flight commands of the failed
+worker and carries on.  Attempts are bounded by
+:class:`RestartPolicy.max_restarts` *per dispatch*; past the bound the
+pool closes and the transport error propagates, so a persistently dying
+worker (genuine OOM, broken native library) still fails loudly.
+
+:class:`~repro.runtime.pool.WorkerError` never reaches this module: an
+exception raised by user code inside a worker is not a transport failure
+and is deliberately not retried.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+__all__ = ["RestartPolicy", "WorkerSupervisor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RestartPolicy:
+    """Bounds and pacing for worker restarts.
+
+    ``max_restarts`` bounds *heal rounds per dispatch* (a round may
+    restart several workers at once after a collective timeout).
+    Backoff grows ``backoff_s * backoff_factor**n`` with the pool's
+    lifetime restart count ``n``, capped at ``max_backoff_s``.
+    """
+
+    max_restarts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    #: Grace period for ``terminate()`` before escalating to ``kill()``.
+    term_grace_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def delay(self, restarts_so_far: int) -> float:
+        return min(self.backoff_s * self.backoff_factor ** restarts_so_far,
+                   self.max_backoff_s)
+
+
+class WorkerSupervisor:
+    """Replaces dead/hung workers of one :class:`WorkerPool` in place.
+
+    The supervisor owns no processes itself — it mutates the pool's
+    ``_procs`` / ``_conns`` / ``_generations`` slots so every other pool
+    mechanism (``_wait_any``'s liveness checks, ``close()``) keeps
+    working on the current incarnation.
+    """
+
+    def __init__(self, pool, policy: RestartPolicy | None = None):
+        self._pool = pool
+        self.policy = policy if policy is not None else RestartPolicy()
+        #: Lifetime restarts across all workers (drives the backoff).
+        self.restarts = 0
+
+    def restart(self, index: int) -> None:
+        """Reclaim worker ``index`` and bring up its next generation.
+
+        Raises the pool's transport error if the replacement fails its
+        ready handshake — the caller's bounded retry loop handles it
+        like any other transport failure.
+        """
+        pool = self._pool
+        self._reclaim(index)
+        delay = self.policy.delay(self.restarts)
+        if delay > 0:
+            time.sleep(delay)
+        pool._generations[index] += 1
+        proc, conn = pool._spawn_worker(index)
+        pool._procs[index] = proc
+        pool._conns[index] = conn
+        self.restarts += 1
+        pool.stats["restarts"] += 1
+        pool._recv(index)  # "ready" handshake from the new generation
+
+    def _reclaim(self, index: int) -> None:
+        pool = self._pool
+        try:
+            pool._conns[index].close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        proc = pool._procs[index]
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.policy.term_grace_s)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=self.policy.term_grace_s)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass  # teardown races: the replacement does not depend on it

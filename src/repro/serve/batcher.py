@@ -35,30 +35,57 @@ __all__ = ["Ticket", "StreamRequest", "MicroBatcher"]
 class Ticket:
     """Completion handle for one submitted chunk.
 
-    Filled in by the server tick that processes the chunk; ``outputs``
-    holds the ``(T_chunk, n_out)`` output spikes for exactly the
-    submitted steps.  On a shadow-mode server ``divergence`` additionally
-    reports this chunk's ideal-vs-hardware output disagreement (fraction
-    of spike entries that differ); ``None`` otherwise.
+    A ticket resolves into exactly one of three terminal states:
+
+    * **completed** (:meth:`complete`) — ``outputs`` holds the
+      ``(T_chunk, n_out)`` output spikes for exactly the submitted
+      steps;
+    * **failed** (:meth:`fail`) — the chunk's computation raised;
+      ``error`` carries the message, the session's stream state was
+      *not* advanced;
+    * **expired** (:meth:`expire`) — the chunk out-waited its
+      ``deadline`` in the admission queue and was shed unserved.
+
+    ``done`` is true in any terminal state; ``ok`` only for a completed
+    ticket.  On a shadow-mode server ``divergence`` additionally reports
+    this chunk's ideal-vs-hardware output disagreement (fraction of
+    spike entries that differ); ``degraded`` marks chunks served
+    through a fallback (e.g. ideal weights after a hardware read
+    failure) and ``retried`` chunks that completed via the per-request
+    isolation path after their batched tick failed.
     """
 
     __slots__ = ("session_id", "arrival", "completed_at", "outputs",
-                 "divergence")
+                 "divergence", "deadline", "error", "expired", "degraded",
+                 "retried")
 
-    def __init__(self, session_id: str, arrival: float):
+    def __init__(self, session_id: str, arrival: float,
+                 deadline: float | None = None):
         self.session_id = session_id
         self.arrival = arrival
+        self.deadline = deadline
         self.completed_at: float | None = None
         self.outputs: np.ndarray | None = None
         self.divergence: float | None = None
+        self.error: str | None = None
+        self.expired = False
+        self.degraded = False
+        self.retried = False
 
     @property
     def done(self) -> bool:
+        """Resolved — completed, failed, or expired."""
         return self.completed_at is not None
 
     @property
+    def ok(self) -> bool:
+        """Resolved successfully (outputs are valid)."""
+        return (self.completed_at is not None and self.error is None
+                and not self.expired)
+
+    @property
     def latency(self) -> float:
-        """Seconds from submission to completion (arrival-to-answer)."""
+        """Seconds from submission to resolution (arrival-to-answer)."""
         if self.completed_at is None:
             raise ValueError("ticket is not completed yet")
         return self.completed_at - self.arrival
@@ -67,8 +94,23 @@ class Ticket:
         self.outputs = outputs
         self.completed_at = now
 
+    def fail(self, error: str, now: float) -> None:
+        self.error = error
+        self.completed_at = now
+
+    def expire(self, now: float) -> None:
+        self.expired = True
+        self.completed_at = now
+
     def __repr__(self) -> str:
-        state = f"done, {1e3 * self.latency:.2f} ms" if self.done else "pending"
+        if not self.done:
+            state = "pending"
+        elif self.expired:
+            state = "expired"
+        elif self.error is not None:
+            state = "failed"
+        else:
+            state = f"done, {1e3 * self.latency:.2f} ms"
         return f"Ticket({self.session_id}, {state})"
 
 
@@ -134,6 +176,10 @@ class MicroBatcher:
         """Distinct sessions with at least one queued chunk."""
         return len(self._per_session)
 
+    def session_pending(self, session_id: str) -> int:
+        """Chunks queued for one session (0 when none)."""
+        return self._per_session.get(session_id, 0)
+
     def submit(self, request: StreamRequest) -> None:
         """Admit a chunk, or raise :class:`CapacityError` when full."""
         if len(self._queue) >= self.queue_limit:
@@ -142,6 +188,32 @@ class MicroBatcher:
                 f"retry later or raise queue_limit")
         self._queue.append(request)
         self._per_session[request.session.session_id] += 1
+
+    def shed_expired(self, now: float) -> list[StreamRequest]:
+        """Remove and return every queued request past its ticket deadline.
+
+        TTL-based load shedding: a request that has already out-waited
+        its deadline would be served *late* — past the point its client
+        stopped caring — so it is dropped before the next tick instead
+        of wasting batch slots.  The caller expires the returned
+        tickets.  Requests without a deadline never shed.
+        """
+        if not self._queue:
+            return []
+        shed: list[StreamRequest] = []
+        kept: collections.deque[StreamRequest] = collections.deque()
+        for request in self._queue:
+            deadline = request.ticket.deadline
+            if deadline is not None and now > deadline:
+                shed.append(request)
+                sid = request.session.session_id
+                self._per_session[sid] -= 1
+                if not self._per_session[sid]:
+                    del self._per_session[sid]
+            else:
+                kept.append(request)
+        self._queue = kept
+        return shed
 
     # -- scheduling ----------------------------------------------------------
     def oldest_arrival(self) -> float | None:

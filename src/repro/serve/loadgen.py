@@ -27,7 +27,8 @@ import time
 
 import numpy as np
 
-from ..common.errors import CapacityError, ShapeError
+from ..common import faults as _faults
+from ..common.errors import CapacityError, ShapeError, StateError
 from ..common.rng import RandomState, as_random_state
 
 __all__ = ["ServingReport", "open_loop"]
@@ -50,12 +51,30 @@ class ServingReport:
     #: Mean per-chunk ideal-vs-hardware output divergence (shadow-mode
     #: servers only; ``None`` otherwise).
     divergence: float | None = None
+    #: Robustness metrics — the zero/1.0 defaults describe a clean run,
+    #: so every serving report carries the same shape whether or not a
+    #: fault plan was active (see docs/robustness.md).
+    faults_injected: int = 0
+    requests_retried: int = 0
+    requests_expired: int = 0
+    requests_failed: int = 0
+    #: p99 arrival-to-answer latency of the *retried* requests only —
+    #: what recovery costs the requests that needed it.  ``None`` when
+    #: nothing was retried.
+    recovery_p99_ms: float | None = None
+    #: completed / (completed + failed + expired).  Queue-full
+    #: rejections are back-pressure, not unavailability, and are
+    #: excluded (reported separately as ``rejected``).
+    availability: float = 1.0
 
     @classmethod
     def from_run(cls, offered_rps: float, duration_s: float,
                  latencies_s: list[float], rejected: int,
                  ticks: int, steps: int,
-                 divergence: float | None = None) -> "ServingReport":
+                 divergence: float | None = None,
+                 expired: int = 0, failed: int = 0,
+                 retried_latencies_s: list[float] | None = None,
+                 faults_injected: int = 0) -> "ServingReport":
         completed = len(latencies_s)
         # The virtual clock runs on numpy scalars (np.cumsum arrivals);
         # coerce to builtin floats so downstream renderers (the run
@@ -76,10 +95,16 @@ class ServingReport:
             # 0 ms that would read as instant service in the trajectory.
             latency = {key: None for key in ("p50", "p95", "p99", "mean",
                                              "max")}
+        retried = list(retried_latencies_s or [])
+        recovery_p99 = None
+        if retried:
+            recovery_p99 = round(float(np.percentile(
+                1e3 * np.asarray(retried), 99)), 3)
+        resolved = completed + int(failed) + int(expired)
         return cls(
             offered_rps=round(float(offered_rps), 3),
             duration_s=round(duration_s, 6),
-            submitted=completed + rejected,
+            submitted=completed + rejected + int(failed) + int(expired),
             completed=completed,
             rejected=rejected,
             ticks=ticks,
@@ -89,6 +114,13 @@ class ServingReport:
             latency_ms=latency,
             divergence=(None if divergence is None
                         else round(float(divergence), 6)),
+            faults_injected=int(faults_injected),
+            requests_retried=len(retried),
+            requests_expired=int(expired),
+            requests_failed=int(failed),
+            recovery_p99_ms=recovery_p99,
+            availability=(round(completed / resolved, 6) if resolved
+                          else 1.0),
         )
 
     def to_dict(self) -> dict:
@@ -171,33 +203,73 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
 
     outstanding: list = []
     latencies: list[float] = []
+    retried_latencies: list[float] = []
     rejected = 0
+    expired = 0
+    failed = 0
     ticks = 0
     steps_served = 0
     now = 0.0
     index = 0
+    plan = _faults.active_plan()
+    injected_before = sum(plan.injected.values()) if plan else 0
+
+    def settle(after: float, completed: int) -> None:
+        """Resolve finished tickets against the post-compute time."""
+        nonlocal steps_served, expired, failed
+        still = []
+        for ticket in outstanding:
+            if not ticket.done:
+                still.append(ticket)
+            elif ticket.ok:
+                if completed:
+                    # Re-stamp completion at the post-compute virtual
+                    # time (the server stamped the pre-compute instant).
+                    ticket.completed_at = after
+                latencies.append(ticket.latency)
+                if ticket.retried:
+                    retried_latencies.append(ticket.latency)
+                steps_served += ticket.outputs.shape[0]
+            elif ticket.expired:
+                expired += 1
+            else:
+                failed += 1
+        outstanding[:] = still
 
     def run_tick(at: float) -> float:
         """Run one due tick; advance the virtual clock by measured cost."""
-        nonlocal ticks, steps_served
+        nonlocal ticks
         start = timer()
         completed = server.poll(now=at)
         elapsed = timer() - start
         after = at + elapsed
         if completed:
             ticks += 1
-            still = []
-            for ticket in outstanding:
-                if ticket.done:
-                    # Re-stamp completion at the post-compute virtual time
-                    # (the server stamped the pre-compute instant).
-                    ticket.completed_at = after
-                    latencies.append(ticket.latency)
-                    steps_served += ticket.outputs.shape[0]
-                else:
-                    still.append(ticket)
-            outstanding[:] = still
+        # Scan even on completed == 0: a poll may resolve tickets only
+        # by shedding expired requests or failing poisoned ones.
+        settle(after, completed)
         return after
+
+    def admit(position: int) -> None:
+        nonlocal rejected
+        arrival = float(arrivals[position])
+        slot = position % sessions
+        try:
+            outstanding.append(
+                server.submit(session_ids[slot], chunks[position],
+                              now=arrival))
+        except CapacityError:
+            rejected += 1
+        except StateError:
+            # The session was reaped while this client was idle: a real
+            # client reconnects — open a fresh stream and resubmit.
+            session_ids[slot] = server.open_session(now=arrival)
+            try:
+                outstanding.append(
+                    server.submit(session_ids[slot], chunks[position],
+                                  now=arrival))
+            except CapacityError:
+                rejected += 1
 
     while index < requests or outstanding:
         # Admit everything that has arrived by ``now`` — arrivals land in
@@ -205,13 +277,7 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
         # arrival time, and are rejected at that moment if the queue is
         # full.  Only then may the next tick run.
         while index < requests and arrivals[index] <= now:
-            sid = session_ids[index % sessions]
-            try:
-                outstanding.append(
-                    server.submit(sid, chunks[index],
-                                  now=float(arrivals[index])))
-            except CapacityError:
-                rejected += 1
+            admit(index)
             index += 1
         if server.ready(now=now):
             now = run_tick(now)
@@ -221,12 +287,25 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
         deadline = math.inf if deadline is None else deadline
         event = min(next_arrival, deadline)
         if math.isinf(event):
+            # Nothing schedulable — but queued-only requests may still
+            # hold tickets that a TTL poll would expire; resolve them
+            # instead of spinning forever.
+            if outstanding:
+                now = run_tick(now)
+                if outstanding:
+                    break  # genuinely unresolvable (no TTL configured)
+                continue
             break
         now = max(now, event)
 
     duration = max(now, float(arrivals[-1]) if requests else 0.0)
     divergence = (server.mean_divergence()
                   if getattr(server, "shadow", False) else None)
+    injected = (sum(plan.injected.values()) - injected_before if plan
+                else 0)
     return ServingReport.from_run(rate_rps, duration, latencies, rejected,
                                   ticks, steps_served,
-                                  divergence=divergence)
+                                  divergence=divergence,
+                                  expired=expired, failed=failed,
+                                  retried_latencies_s=retried_latencies,
+                                  faults_injected=injected)

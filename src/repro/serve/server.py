@@ -37,6 +37,15 @@ The server is single-threaded and clock-injected: ``poll``/``submit``
 accept an explicit ``now`` so schedulers, tests and the open-loop load
 generator (:mod:`repro.serve.loadgen`) can drive it deterministically; by
 default it reads ``time.monotonic``.
+
+Degradation ladder (see ``docs/robustness.md``): requests carry optional
+deadlines and are **shed** unserved once expired (``request_ttl_ms``);
+a failing batched tick falls back to **per-request isolation** so one
+poisoned chunk fails only its own ticket; a failing hardware weight read
+falls back to the **ideal weights** with tickets stamped
+``degraded=True``; a repeatedly failing shadow stream trips a **circuit
+breaker** that disables shadowing instead of failing the primary; idle
+sessions are **reaped** after ``session_ttl_s``.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ import time
 
 import numpy as np
 
+from ..common import faults as _faults
 from ..common.errors import ShapeError, StateError
 from ..core.engine import StreamState, resolve_precision
 from ..core.network import SpikingNetwork
@@ -94,6 +104,20 @@ class ModelServer:
         divergence on each :class:`~repro.serve.batcher.Ticket` and in
         ``stats`` (see :meth:`mean_divergence`).  Requires ``hardware``.
         Roughly doubles tick compute.
+    request_ttl_ms:
+        Queue-time deadline per request: a chunk still queued this long
+        after submission is shed (ticket resolved ``expired``) instead
+        of served late.  ``None`` (default) disables shedding.
+    session_ttl_s:
+        Idle-session reaping: a session with no completed chunk for
+        this long (and nothing queued) is dropped during :meth:`poll`;
+        a ``submit`` to it raises
+        :class:`~repro.common.errors.StateError`.  ``None`` disables
+        reaping.
+    shadow_threshold:
+        Shadow circuit breaker: after this many shadow-path failures
+        the shadow stream is disabled (``shadow_disabled``) rather than
+        ever failing the primary.
     clock:
         0-arg callable returning seconds; default ``time.monotonic``.
     """
@@ -102,7 +126,10 @@ class ModelServer:
                  precision: str = "float64", max_batch: int = 8,
                  max_wait_ms: float = 2.0, queue_limit: int = 64,
                  hardware: HardwareMappedNetwork | None = None,
-                 shadow: bool = False, clock=time.monotonic):
+                 shadow: bool = False,
+                 request_ttl_ms: float | None = None,
+                 session_ttl_s: float | None = None,
+                 shadow_threshold: int = 3, clock=time.monotonic):
         if engine not in ("fused", "step"):
             raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
         if shadow and hardware is None:
@@ -118,10 +145,25 @@ class ModelServer:
                     "hardware was mapped from a different network object; "
                     "map it from the served network so the realization "
                     "matches the model")
+        if request_ttl_ms is not None and request_ttl_ms <= 0:
+            raise ValueError(
+                f"request_ttl_ms must be > 0, got {request_ttl_ms}")
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ValueError(
+                f"session_ttl_s must be > 0, got {session_ttl_s}")
+        if shadow_threshold < 1:
+            raise ValueError(
+                f"shadow_threshold must be >= 1, got {shadow_threshold}")
         self.network = network
         self.engine = engine
         self.hardware = hardware
         self.shadow = bool(shadow)
+        self.request_ttl = (None if request_ttl_ms is None
+                            else float(request_ttl_ms) / 1e3)
+        self.session_ttl = (None if session_ttl_s is None
+                            else float(session_ttl_s))
+        self.shadow_threshold = int(shadow_threshold)
+        self._shadow_tripped = False
         self.dtype = resolve_precision(precision) or np.dtype(np.float64)
         self.batcher = MicroBatcher(max_batch=max_batch,
                                     max_wait_ms=max_wait_ms,
@@ -139,6 +181,10 @@ class ModelServer:
             "submitted": 0, "rejected": 0, "completed": 0, "ticks": 0,
             "steps": 0, "max_tick_batch": 0, "closed_sessions": 0,
             "shadow_chunks": 0, "divergence_sum": 0.0,
+            # Robustness counters (see docs/robustness.md):
+            "expired": 0, "failed": 0, "retried": 0, "degraded_chunks": 0,
+            "weight_fallbacks": 0, "shadow_failures": 0,
+            "reaped_sessions": 0,
         }
 
     @classmethod
@@ -232,10 +278,22 @@ class ModelServer:
         Returns a :class:`~repro.serve.batcher.Ticket` that a later
         :meth:`poll` completes.  Raises
         :class:`~repro.common.errors.CapacityError` when the admission
-        queue is full (the chunk is not queued; nothing changes).
+        queue is full (the chunk is not queued; nothing changes), and
+        :class:`~repro.common.errors.StateError` for an unknown, closed
+        or TTL-expired session.
         """
         now = self.clock() if now is None else now
         session = self.session(session_id)
+        if (self.session_ttl is not None
+                and now - session.last_active > self.session_ttl
+                and not self.batcher.session_pending(session_id)):
+            # Lazy reap: an abandoned session is indistinguishable from a
+            # closed one by the time its client returns.
+            del self._sessions[session_id]
+            self.stats["reaped_sessions"] += 1
+            raise StateError(
+                f"session {session_id!r} expired after "
+                f"{self.session_ttl:g}s idle")
         chunk = np.asarray(chunk, dtype=self.dtype)
         if chunk.ndim != 2 or chunk.shape[1] != self.network.sizes[0]:
             raise ShapeError(
@@ -243,7 +301,9 @@ class ModelServer:
                 f"got {chunk.shape}")
         if chunk.shape[0] == 0:
             raise ShapeError("cannot submit an empty chunk")
-        ticket = Ticket(session_id, now)
+        deadline = (None if self.request_ttl is None
+                    else now + self.request_ttl)
+        ticket = Ticket(session_id, now, deadline=deadline)
         request = StreamRequest(self._request_seq, session, chunk, ticket)
         try:
             self.batcher.submit(request)
@@ -269,8 +329,16 @@ class ModelServer:
         return self.batcher.next_deadline()
 
     def poll(self, now: float | None = None) -> int:
-        """Run one tick if due; returns the number of completed chunks."""
+        """Run one tick if due; returns the number of completed chunks.
+
+        Housekeeping rides every poll even when no tick is due: idle
+        sessions past ``session_ttl_s`` are reaped, and queued requests
+        past their deadline are shed (their tickets resolve
+        ``expired``, which may leave no tick to run).
+        """
         now = self.clock() if now is None else now
+        self._reap_sessions(now)
+        self._shed_expired(now)
         if not self.batcher.ready(now):
             return 0
         return self._run_tick(now)
@@ -295,23 +363,97 @@ class ModelServer:
         self.flush(now=now)
         return ticket.outputs
 
-    # -- the tick ------------------------------------------------------------
-    def _tick_weights(self):
-        """Per-layer weight overrides for the primary tick run.
+    # -- housekeeping --------------------------------------------------------
+    def _shed_expired(self, now: float) -> None:
+        """Expire queued requests past their deadline (TTL shedding)."""
+        if self.request_ttl is None:
+            return
+        for request in self.batcher.shed_expired(now):
+            request.ticket.expire(now)
+            self.stats["expired"] += 1
 
-        ``None`` serves the resident network's own (ideal) weights; in
-        hardware mode the mapped network's generation-keyed cache supplies
-        the achieved weights, so a ``reprogram()`` between ticks is
-        observed on the very next tick.
+    def _reap_sessions(self, now: float) -> None:
+        """Drop sessions idle past ``session_ttl_s`` with nothing queued."""
+        if self.session_ttl is None:
+            return
+        reapable = [
+            sid for sid, session in self._sessions.items()
+            if (now - session.last_active > self.session_ttl
+                and not self.batcher.session_pending(sid))
+        ]
+        for sid in reapable:
+            del self._sessions[sid]
+            self.stats["reaped_sessions"] += 1
+
+    # -- the tick ------------------------------------------------------------
+    def _primary_weights(self):
+        """``(weight_overrides, degraded)`` for the primary tick run.
+
+        ``None`` overrides serve the resident network's own (ideal)
+        weights; in hardware mode the mapped network's generation-keyed
+        cache supplies the achieved weights, so a ``reprogram()``
+        between ticks is observed on the very next tick.  A failing
+        hardware weight read (a real error, or the ``hw.weights.stale``
+        fault site) degrades to the ideal weights instead of failing
+        the tick — the second rung of the degradation ladder — and the
+        chunks it serves are stamped ``degraded=True``.
         """
         if self.hardware is None or self.shadow:
-            return None
-        return self.hardware.weight_list()
+            return None, False
+        try:
+            _faults.maybe_raise("hw.weights.stale")
+            return self.hardware.weight_list(), False
+        except Exception:
+            self.stats["weight_fallbacks"] += 1
+            return None, True
+
+    @property
+    def shadow_disabled(self) -> bool:
+        """Whether the shadow circuit breaker has tripped."""
+        return self._shadow_tripped
 
     def _run_tick(self, now: float) -> int:
+        self._shed_expired(now)
         requests = self.batcher.collect()
         if not requests:
             return 0
+        weights, degraded = self._primary_weights()
+        # Per-request poison flags are drawn before the batched attempt:
+        # a fault plan can fail one specific chunk while its co-batched
+        # neighbours complete (the isolation contract).
+        poisoned = [_faults.should_fire("serve.request.raise")
+                    for _ in requests]
+        if any(poisoned):
+            completed = self._isolate(requests, poisoned, weights, now,
+                                      degraded)
+        else:
+            try:
+                completed = self._advance(requests, weights, now, degraded)
+            except Exception:
+                # The batched attempt died mid-tick: its workspace
+                # buffers are stranded mid-lend, and no session state
+                # was advanced (the scatter never ran).  Reclaim and
+                # retry each chunk in isolation.
+                self._workspace.reclaim()
+                completed = self._isolate(requests, poisoned, weights, now,
+                                          degraded)
+        self.stats["ticks"] += 1
+        self.stats["max_tick_batch"] = max(self.stats["max_tick_batch"],
+                                           len(requests))
+        return completed
+
+    def _advance(self, requests, weights, now: float, degraded: bool,
+                 retried: bool = False) -> int:
+        """Advance ``requests`` in one batched run and complete tickets.
+
+        This is the only computation path — the happy tick runs it on
+        the full collected batch, the isolation fallback on one request
+        at a time.  The fused engine's gather/scatter transparency makes
+        the two bitwise-identical, so a retried chunk's outputs equal
+        the ones its failed batched tick would have produced.
+        """
+        if not retried:
+            _faults.maybe_raise("serve.tick.raise")
         ws = self._workspace
         n_in = self.network.sizes[0]
         count = len(requests)
@@ -332,28 +474,75 @@ class ModelServer:
         for row, request in enumerate(requests):
             batched.copy_row(row, request.session.state, 0)
         outputs, _ = self.network.run_stream(xs, batched, lengths=lengths,
-                                             workspace=ws,
-                                             weights=self._tick_weights())
-        divergences = None
-        if self.shadow:
-            divergences = self._run_shadow(requests, xs, lengths, outputs,
-                                           ws)
+                                             workspace=ws, weights=weights)
+        divergences = self._shadow_divergences(requests, xs, lengths,
+                                               outputs, ws)
         for row, request in enumerate(requests):
             request.session.state.copy_row(0, batched, row)
             request.session.last_active = now
             request.session.chunks += 1
+            ticket = request.ticket
             if divergences is not None:
-                request.ticket.divergence = divergences[row]
+                ticket.divergence = divergences[row]
                 request.session.divergence_sum += divergences[row]
-            request.ticket.complete(outputs[row, :request.steps].copy(), now)
+            ticket.degraded = degraded
+            ticket.retried = retried
+            ticket.complete(outputs[row, :request.steps].copy(), now)
         batched.release_to(ws)
         ws.release(xs, outputs)
         self.stats["completed"] += count
-        self.stats["ticks"] += 1
         self.stats["steps"] += int(lengths.sum())
-        self.stats["max_tick_batch"] = max(self.stats["max_tick_batch"],
-                                           count)
+        if degraded:
+            self.stats["degraded_chunks"] += count
+        if retried:
+            self.stats["retried"] += count
         return count
+
+    def _isolate(self, requests, poisoned, weights, now: float,
+                 degraded: bool) -> int:
+        """Per-session error isolation: advance each chunk alone.
+
+        Poisoned chunks (and chunks whose solo run raises) fail only
+        their own ticket — the session's stream state is not advanced,
+        so the client can resubmit from exactly where it stood.  The
+        co-batched neighbours complete normally, stamped
+        ``retried=True``.
+        """
+        completed = 0
+        for request, bad in zip(requests, poisoned):
+            if bad:
+                error = "injected fault at site 'serve.request.raise'"
+            else:
+                try:
+                    completed += self._advance([request], weights, now,
+                                               degraded, retried=True)
+                    continue
+                except Exception as exc:
+                    self._workspace.reclaim()
+                    error = f"{type(exc).__name__}: {exc}"
+            request.ticket.fail(error, now)
+            self.stats["failed"] += 1
+        return completed
+
+    def _shadow_divergences(self, requests, xs, lengths, outputs, ws):
+        """Shadow pass behind a circuit breaker; ``None`` when disabled.
+
+        A shadow failure (a real error, or the ``serve.shadow.raise``
+        fault site) never fails the primary: it is counted, and after
+        ``shadow_threshold`` failures the breaker trips and shadowing
+        stops entirely (``shadow_disabled``) — the canary dying must
+        not take down the deployment it canaries.
+        """
+        if not self.shadow or self._shadow_tripped:
+            return None
+        try:
+            _faults.maybe_raise("serve.shadow.raise")
+            return self._run_shadow(requests, xs, lengths, outputs, ws)
+        except Exception:
+            self.stats["shadow_failures"] += 1
+            if self.stats["shadow_failures"] >= self.shadow_threshold:
+                self._shadow_tripped = True
+            return None
 
     def _run_shadow(self, requests, xs, lengths, outputs, ws) -> list[float]:
         """Advance every session's hardware shadow stream on the same

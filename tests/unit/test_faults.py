@@ -1,0 +1,150 @@
+"""Unit tests for the fault-injection plane (repro.common.faults).
+
+The plan is the robustness suite's foundation: these tests pin that
+rules validate eagerly, that triggers are a pure function of per-site
+visit order and the plan seed, and that plan state never leaks across
+processes (fresh/pickle reset) or installs (active() scoping).
+"""
+
+import pickle
+
+import pytest
+
+from repro.common import faults
+from repro.common.faults import (
+    KNOWN_SITES,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """Every test starts and ends with no process-global plan."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestFaultRule:
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError, match="non-empty site"):
+            FaultRule("", nth=(1,))
+
+    def test_never_firing_rule_rejected(self):
+        with pytest.raises(ValueError, match="can never fire"):
+            FaultRule("pool.worker.crash")
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule("pool.worker.crash", nth=(0,))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("pool.worker.crash", probability=1.5)
+
+    def test_times_floor(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultRule("pool.worker.crash", nth=(1,), times=0)
+
+    def test_nth_coerces_and_sorts(self):
+        assert FaultRule("s", nth=3).nth == (3,)
+        assert FaultRule("s", nth=(5, 2)).nth == (2, 5)
+
+    def test_where_dict_becomes_sorted_items(self):
+        rule = FaultRule("s", nth=(1,), where={"worker": 1, "generation": 0})
+        assert rule.where == (("generation", 0), ("worker", 1))
+        assert rule.matches_context({"worker": 1, "generation": 0,
+                                     "extra": "ignored"})
+        assert not rule.matches_context({"worker": 2, "generation": 0})
+        assert not rule.matches_context({})
+
+    def test_rules_stay_hashable(self):
+        rule = FaultRule("s", nth=(1,), where={"worker": 0})
+        assert rule in {rule}
+
+
+class TestFaultPlan:
+    def test_nth_fires_on_exact_visits(self):
+        plan = FaultPlan((FaultRule("site", nth=(2, 4)),))
+        fired = [plan.hit("site") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+        assert plan.visits["site"] == 5
+        assert plan.injected["site"] == 2
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan((FaultRule("a", nth=(2,)),))
+        assert plan.hit("b") is None          # visit of another site
+        assert plan.hit("a") is None          # a's first visit
+        assert plan.hit("a") is not None      # a's second visit
+
+    def test_probability_schedule_replays_with_seed(self):
+        rules = (FaultRule("site", probability=0.3),)
+        one = FaultPlan(rules, seed=11)
+        two = FaultPlan(rules, seed=11)
+        other = FaultPlan(rules, seed=12)
+        seq_one = [one.hit("site") is not None for _ in range(200)]
+        seq_two = [two.hit("site") is not None for _ in range(200)]
+        seq_other = [other.hit("site") is not None for _ in range(200)]
+        assert seq_one == seq_two
+        assert any(seq_one) and not all(seq_one)
+        assert seq_one != seq_other
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan((FaultRule("site", nth=(1, 2, 3), times=2),))
+        fired = [plan.hit("site") is not None for _ in range(3)]
+        assert fired == [True, True, False]
+        assert plan.injected["site"] == 2
+
+    def test_where_filters_on_install_context(self):
+        plan = FaultPlan((FaultRule("site", nth=(1,),
+                                    where={"worker": 0}),))
+        with faults.active(plan, worker=1):
+            assert not faults.should_fire("site")
+        plan2 = plan.fresh()
+        with faults.active(plan2, worker=0):
+            assert faults.should_fire("site")
+
+    def test_fresh_and_pickle_reset_state(self):
+        plan = FaultPlan((FaultRule("site", nth=(1,)),), seed=3)
+        assert plan.hit("site") is not None
+        assert plan.visits["site"] == 1
+        for copy in (plan.fresh(), pickle.loads(pickle.dumps(plan))):
+            assert copy.seed == 3
+            assert copy.rules == plan.rules
+            assert copy.visits["site"] == 0
+            assert copy.hit("site") is not None  # counts from zero again
+
+    def test_dict_rules_accepted(self):
+        plan = FaultPlan(({"site": "site", "nth": (1,)},))
+        assert plan.hit("site") is not None
+        with pytest.raises(TypeError):
+            FaultPlan((object(),))
+
+
+class TestGlobalInstall:
+    def test_sites_are_noops_without_a_plan(self):
+        assert faults.hit("pool.worker.crash") is None
+        assert not faults.should_fire("pool.worker.crash")
+        faults.maybe_raise("pool.worker.crash")  # must not raise
+
+    def test_maybe_raise_names_the_site(self):
+        plan = FaultPlan((FaultRule("serve.tick.raise", nth=(1,)),))
+        with faults.active(plan):
+            with pytest.raises(FaultError, match="serve.tick.raise"):
+                faults.maybe_raise("serve.tick.raise")
+
+    def test_active_restores_previous_plan(self):
+        outer = FaultPlan((FaultRule("a", nth=(1,)),))
+        inner = FaultPlan((FaultRule("b", nth=(1,)),))
+        with faults.active(outer):
+            with faults.active(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_known_sites_catalogued(self):
+        assert "pool.worker.crash" in KNOWN_SITES
+        assert "serve.request.raise" in KNOWN_SITES
+        assert len(set(KNOWN_SITES)) == len(KNOWN_SITES)

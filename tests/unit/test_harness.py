@@ -301,7 +301,11 @@ class TestBenchJsonRoundTrip:
         assert set(row) == {"offered_rps", "duration_s", "submitted",
                             "completed", "rejected", "ticks",
                             "throughput_rps", "mean_batch", "steps_per_s",
-                            "latency_ms", "divergence"}
+                            "latency_ms", "divergence",
+                            "faults_injected", "requests_retried",
+                            "requests_expired", "requests_failed",
+                            "recovery_p99_ms", "availability"}
+        assert row["availability"] == 1.0          # a clean serving run
         assert set(row["latency_ms"]) == {"p50", "p95", "p99", "mean",
                                           "max"}
         assert report["serving"]["shadow_float64"]["light"]["divergence"] \
@@ -367,3 +371,98 @@ class TestPresets:
         assert "dvs" in workloads          # a non-SHD sensor workload
         assert any("+" in w for w in workloads)  # and a mixed stream
         assert all(spec.repetition == 0 for spec in serving)
+
+
+class TestChaosValidation:
+    BASE = dict(loads=(LoadSpec("l", 400.0, 8),), sizes=(24, 16, 8),
+                sessions=2, chunk_steps=4)
+    RULE = {"site": "serve.tick.raise", "nth": (1,)}
+
+    def test_chaos_needs_faults(self):
+        with pytest.raises(ExperimentError, match="at least one fault"):
+            Scenario(name="c", kind="chaos", **self.BASE)
+
+    def test_faults_belong_to_chaos(self):
+        with pytest.raises(ExperimentError, match="kind='chaos'"):
+            Scenario(name="c", kind="serving", faults=(self.RULE,),
+                     **self.BASE)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault site"):
+            Scenario(name="c", kind="chaos",
+                     faults=({"site": "no.such.site", "nth": (1,)},),
+                     **self.BASE)
+
+    def test_malformed_rule_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario(name="c", kind="chaos",
+                     faults=({"site": "serve.tick.raise"},),  # never fires
+                     **self.BASE)
+
+    def test_ttl_knobs_are_serving_only_and_positive(self):
+        with pytest.raises(ExperimentError, match="serving knob"):
+            Scenario(name="c", kind="forward", request_ttl_ms=10.0,
+                     sizes=(24, 16, 8))
+        with pytest.raises(ExperimentError, match="> 0"):
+            Scenario(name="c", kind="chaos", faults=(self.RULE,),
+                     request_ttl_ms=0.0, **self.BASE)
+
+    def test_chaos_expands_like_serving(self):
+        scenario = Scenario(name="c", kind="chaos", faults=(self.RULE,),
+                            repetitions=2, **self.BASE)
+        specs = expand(scenario)
+        assert len(specs) == 2
+        assert all(spec.kind == "chaos" for spec in specs)
+        assert len({spec.run_id for spec in specs}) == 2
+
+
+@needs_scipy
+class TestChaosRuns:
+    @staticmethod
+    def scenario(seed=3):
+        return Scenario(
+            name="t-chaos", kind="chaos",
+            loads=(LoadSpec("smoke", 400.0, 16),),
+            sizes=(24, 16, 8), sessions=3, chunk_steps=4,
+            request_ttl_ms=250.0, session_ttl_s=60.0,
+            faults=({"site": "serve.request.raise", "probability": 0.05},
+                    {"site": "serve.tick.raise", "nth": (2,)}),
+            seed=seed)
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_scenarios([self.scenario()], timer=FakeTimer())
+
+    def test_every_request_is_accounted_for(self, table):
+        (row,) = table.by_kind("chaos")
+        resolved = (row["completed"] + row["requests_failed"]
+                    + row["requests_expired"] + row["rejected"])
+        assert resolved == row["requests"] == 16
+        # The nth=(2,) tick fault is guaranteed to fire (and the whole
+        # tick to retry); failures only come from injected request
+        # poisoning, never an unrecovered server error.
+        assert row["faults_injected"] >= 1
+        assert row["requests_retried"] >= 1
+        assert row["requests_failed"] <= row["faults_injected"]
+        denominator = (row["completed"] + row["requests_failed"]
+                       + row["requests_expired"])
+        assert row["availability"] == round(
+            row["completed"] / denominator, 6)
+
+    def test_chaos_rows_round_trip_through_csv(self, table):
+        back = RunTable.from_csv_text(table.render_csv())
+        assert back.rows == table.rows
+
+    def test_chaos_section_of_serving_report(self, table):
+        report = benchjson.serving_report(table, meta={"pinned": True})
+        assert report["serving"] == {}     # chaos-only table
+        row = report["chaos"]["t-chaos"]["smoke"]
+        for key in ("availability", "faults_injected", "requests_retried",
+                    "requests_expired", "requests_failed",
+                    "recovery_p99_ms"):
+            assert key in row
+        assert row["submitted"] == 16
+
+    def test_same_seed_reproduces_the_fault_schedule(self, table):
+        again = run_scenarios([self.scenario()], timer=FakeTimer())
+        assert again.rows == table.rows

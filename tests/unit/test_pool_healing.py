@@ -1,0 +1,217 @@
+"""Self-healing WorkerPool tests under the seeded fault plane.
+
+The recovery contract (docs/robustness.md): a transport-level failure —
+a worker that crashed, hangs, or violates the reply protocol — is
+healed by the supervisor (respawn, re-stage, requeue the in-flight
+shards) and the dispatch's results are bitwise-identical to a
+fault-free pool's.  A :class:`WorkerError` (the *task* raised) stays
+fail-fast and leaves the pool usable; transport healing is bounded by
+the :class:`RestartPolicy`, after which the pool closes itself and
+raises :class:`PoolTransportError`.
+"""
+
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common import faults
+from repro.common.faults import FaultPlan, FaultRule
+from repro.core import CrossEntropyRateLoss, SpikingNetwork
+from repro.core.calibration import calibrate_firing
+from repro.core.trainer import run_in_batches
+from repro.runtime import RestartPolicy, WorkerPool, shard_slices
+from repro.runtime.pool import PoolTransportError, WorkerError
+
+
+def make_task(n=48, steps=20, channels=10, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = (rng.random((n, steps, channels)) < 0.2).astype(np.float64)
+    y = np.arange(n) % classes
+    return x, y
+
+
+def make_net(sizes=(10, 14, 3), seed=0, x=None):
+    net = SpikingNetwork(sizes, rng=seed)
+    if x is not None:
+        calibrate_firing(net, x[:16], target_rate=0.15)
+    else:
+        for layer in net.layers:
+            layer.weight *= 6.0
+    return net
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def _double(value):
+    return value * 2
+
+
+def _ignore_sigterm_then_sleep(seconds):
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(seconds)
+    return seconds
+
+
+def fast_policy(**kwargs):
+    kwargs.setdefault("backoff_s", 0.01)
+    return RestartPolicy(**kwargs)
+
+
+def faulty_pool(rules, seed=7, **kwargs):
+    """A pool whose workers run under a seeded fault plan.
+
+    The plan is snapshotted into the worker spec at construction, so it
+    only needs to be active while the pool is built.
+    """
+    kwargs.setdefault("restart_policy", fast_policy())
+    with faults.active(FaultPlan(rules, seed=seed)):
+        return WorkerPool(**kwargs)
+
+
+class TestTransportHealing:
+    def test_crash_heals_run_sharded_bitwise(self):
+        x, _ = make_task()
+        net = make_net(x=x)
+        serial = run_in_batches(net, x, batch_size=16)
+        rule = FaultRule("pool.worker.crash", nth=(1,),
+                         where={"worker": 0, "generation": 0})
+        pool = faulty_pool((rule,), network=net, workers=2)
+        try:
+            outputs = pool.run_sharded(x, batch_size=16).copy()
+            assert pool.stats["restarts"] == 1
+            assert pool.stats["retries"] >= 1
+        finally:
+            pool.close()
+        np.testing.assert_array_equal(outputs, serial)
+
+    def test_hang_heals_under_per_call_timeout(self):
+        rule = FaultRule("pool.worker.hang", nth=(1,),
+                         where={"worker": 0, "generation": 0}, payload=60.0)
+        pool = faulty_pool((rule,), workers=2)
+        try:
+            assert pool.map(_double, [1, 2, 3, 4], timeout=1.0) \
+                == [2, 4, 6, 8]
+            assert pool.stats["restarts"] == 1
+        finally:
+            pool.close()
+
+    def test_corrupt_reply_heals_grad_shards_bitwise(self):
+        x, y = make_task()
+        net = make_net(x=x)
+        loss = CrossEntropyRateLoss()
+        slices = shard_slices(len(x), 2)
+
+        def snapshot(shards):
+            # Gradients are views into the pool's shared-memory arena;
+            # copy them out so they survive close().
+            return [(lv, n, [g.copy() for g in grads])
+                    for lv, n, grads in shards]
+
+        with WorkerPool(net, workers=2, loss=loss) as clean:
+            reference = snapshot(clean.grad_shards(x, y, slices))
+        rule = FaultRule("pool.reply.corrupt", nth=(1,),
+                         where={"worker": 0, "generation": 0})
+        pool = faulty_pool((rule,), network=net, workers=2, loss=loss)
+        try:
+            shards = snapshot(pool.grad_shards(x, y, slices))
+            assert pool.stats["restarts"] == 1
+        finally:
+            pool.close()
+        assert len(shards) == len(reference)
+        for (lv, n, grads), (rlv, rn, rgrads) in zip(shards, reference):
+            assert lv == rlv and n == rn
+            for g, r in zip(grads, rgrads):
+                np.testing.assert_array_equal(g, r)
+
+    def test_retries_exhausted_closes_pool_and_raises(self):
+        # Unscoped nth=(1,): every respawned generation gets a fresh
+        # plan copy and crashes on its first command too, so healing
+        # can never converge and the policy bound must trip.
+        rule = FaultRule("pool.worker.crash", nth=(1,))
+        pool = faulty_pool(
+            (rule,), workers=1,
+            restart_policy=fast_policy(max_restarts=2))
+        with pytest.raises(PoolTransportError):
+            pool.map(_double, [1, 2])
+        assert pool.stats["restarts"] == 2
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_double, [1])
+
+
+class TestWorkerErrorStaysFailFast:
+    def test_worker_error_mid_run_sharded_leaves_pool_usable(self):
+        # Regression pin: a *task* failure (here a chunk whose channel
+        # count does not match the network) must raise WorkerError
+        # without healing, desyncing, or poisoning the pool — the very
+        # next dispatch is bitwise-correct.
+        x, _ = make_task()
+        net = make_net(x=x)
+        serial = run_in_batches(net, x, batch_size=16)
+        bad = np.zeros((8, 20, x.shape[2] + 2))
+        with WorkerPool(net, workers=2) as pool:
+            with pytest.raises(WorkerError, match="worker 0 raised"):
+                pool.run_sharded(bad, batch_size=4)
+            assert pool.stats["restarts"] == 0
+            np.testing.assert_array_equal(
+                pool.run_sharded(x, batch_size=16), serial)
+
+
+class TestCloseEscalation:
+    def test_close_kills_sigterm_ignoring_worker(self):
+        pool = WorkerPool(workers=1)
+        errors = []
+
+        def stuck_dispatch():
+            try:
+                pool.map(_ignore_sigterm_then_sleep, [60.0])
+            except Exception as exc:   # the pool closes under us
+                errors.append(exc)
+
+        thread = threading.Thread(target=stuck_dispatch, daemon=True)
+        thread.start()
+        time.sleep(0.5)   # worker is now sleeping with SIGTERM ignored
+        procs = list(pool._procs)
+        assert any(proc.is_alive() for proc in procs)
+        pool._CLOSE_GRACE_S = 0.2
+        pool.close()
+        for proc in procs:
+            assert not proc.is_alive()
+
+    def test_atexit_after_crash_heal_is_quiet(self):
+        # A pool that healed a crashed worker mid-life and is then
+        # abandoned (no close()) must still shut down silently at
+        # interpreter exit: no resource_tracker "leaked shared_memory"
+        # warnings, no worker tracebacks on stderr.
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        code = textwrap.dedent("""
+            from repro import WorkerPool
+            from repro.common import faults
+
+            faults.install(faults.FaultPlan((
+                faults.FaultRule("pool.worker.crash", nth=(1,),
+                                 where={"worker": 0, "generation": 0}),
+            ), seed=7))
+            pool = WorkerPool(workers=2)
+            assert pool.map(abs, [-1, 2, -3, 4]) == [1, 2, 3, 4]
+            print("healed", pool.stats["restarts"])
+            # exit without close(): the atexit hook owns the cleanup
+        """)
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            timeout=120, env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "healed 1" in result.stdout
+        assert result.stderr.strip() == "", result.stderr

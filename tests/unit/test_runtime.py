@@ -483,20 +483,22 @@ class TestWorkerPool:
         with pytest.raises(RuntimeError, match="closed"):
             pool.map(_double, [1])
 
-    def test_close_after_transport_failure_is_quiet(self):
-        # After a dead worker turns a dispatch into a transport failure,
-        # close() must neither raise nor warn — it is the path __del__
-        # and the atexit hook take, where any exception becomes stderr
-        # noise the user cannot act on.
+    def test_dead_worker_heals_and_close_stays_quiet(self):
+        # A worker killed out-of-band no longer dooms the pool: the
+        # dispatch respawns it, requeues its shards, and returns the
+        # fault-free results.  close() afterwards must neither raise nor
+        # warn — it is the path __del__ and the atexit hook take, where
+        # any exception becomes stderr noise the user cannot act on.
         import warnings
 
-        pool = WorkerPool(workers=2)
+        from repro.runtime import RestartPolicy
+
+        pool = WorkerPool(workers=2,
+                          restart_policy=RestartPolicy(backoff_s=0.01))
         pool._procs[0].kill()
         pool._procs[0].join()
-        # Depending on timing the dead worker surfaces as a broken pipe
-        # on send or a "died" RuntimeError while awaiting the reply.
-        with pytest.raises((RuntimeError, OSError)):
-            pool.map(_double, [1, 2, 3, 4])
+        assert pool.map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+        assert pool.stats["restarts"] == 1
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             pool.close()
