@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke docs quickstart serve-demo
+.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke obs-smoke docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -43,6 +43,10 @@ bench-paper:
 ## fault-injection gates: pool bitwise self-healing + chaos availability
 chaos-smoke:
 	$(PYTHON) tools/chaos_smoke.py --table run_table.csv
+
+## telemetry gates: trace schema, exporter parsing, overhead <= 5%
+obs-smoke:
+	$(PYTHON) tools/obs_smoke.py --trace-dir traces
 
 ## verify the documentation: README/docs exist and their local links resolve
 docs:

@@ -210,6 +210,12 @@ class FaultPlan:
                 fired = rule
                 self._fired[index] += 1
                 self.injected[site] += 1
+        if fired is not None:
+            # Lazy import: faults sits below obs in the layer order, and
+            # the event is only worth an import once something fired.
+            from ..obs import event as _obs_event
+
+            _obs_event("fault.injected", site=site, visit=visit, **context)
         return fired
 
     def __repr__(self) -> str:

@@ -72,6 +72,9 @@ MEASUREMENT_COLUMNS = (
     "requests_failed",   # chunks whose ticket resolved with an error
     "recovery_p99_ms",   # p99 latency of the retried chunks only
     "availability",      # completed / (completed+failed+expired)
+    # Telemetry columns (serving/chaos rows; see docs/observability.md):
+    "queue_wait_p95_ms",    # p95 submit-to-tick wait (virtual clock)
+    "tick_compute_p95_ms",  # p95 measured per-tick compute
 )
 
 RUN_TABLE_COLUMNS = ID_COLUMNS + MEASUREMENT_COLUMNS

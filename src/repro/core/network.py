@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs as _obs
 from ..common.errors import ShapeError
 from ..common.rng import RandomState, as_random_state
 from .engine import StreamState, fused_run, resolve_precision, run_streaming
@@ -189,8 +190,14 @@ class SpikingNetwork:
                 f"expected {self.sizes[0]} input channels, got {inputs.shape[2]}"
             )
         if engine == "fused":
-            return fused_run(self, inputs, record=record, ws=workspace,
-                             weights=weights)
+            # timed_span is the shared null context unless a telemetry
+            # bundle is installed — the uninstrumented path pays one
+            # global read per call.
+            with _obs.timed_span("engine.run", metric="engine.run_ms",
+                                 engine=engine, batch=int(inputs.shape[0]),
+                                 steps=int(inputs.shape[1])):
+                return fused_run(self, inputs, record=record, ws=workspace,
+                                 weights=weights)
         if weights is not None:
             raise ValueError(
                 "weight overrides are a fused-engine feature (the step "
@@ -213,15 +220,17 @@ class SpikingNetwork:
                 for layer in self.layers
             ]
 
-        for t in range(steps):
-            spikes = inputs[:, t, :]
-            for index, layer in enumerate(self.layers):
-                spikes, v = layer.step(spikes)
-                spike_buffers[index][:, t, :] = spikes
-                if record:
-                    v_buffers[index][:, t, :] = v
-                    if k_buffers[index] is not None:
-                        k_buffers[index][:, t, :] = layer.k
+        with _obs.timed_span("engine.run", metric="engine.run_ms",
+                             engine=engine, batch=batch, steps=steps):
+            for t in range(steps):
+                spikes = inputs[:, t, :]
+                for index, layer in enumerate(self.layers):
+                    spikes, v = layer.step(spikes)
+                    spike_buffers[index][:, t, :] = spikes
+                    if record:
+                        v_buffers[index][:, t, :] = v
+                        if k_buffers[index] is not None:
+                            k_buffers[index][:, t, :] = layer.k
 
         outputs = spike_buffers[-1]
         run_record = None
@@ -329,14 +338,23 @@ class SpikingNetwork:
                     f"stream state carries {state.batch} streams, "
                     f"got a chunk of {batch}")
         if engine == "fused":
-            outputs = run_streaming(self, chunk, state, lengths=lengths,
-                                    ws=workspace, weights=weights)
+            with _obs.timed_span("engine.run_stream",
+                                 metric="engine.run_stream_ms",
+                                 engine=engine, batch=batch,
+                                 steps=int(chunk.shape[1])):
+                outputs = run_streaming(self, chunk, state, lengths=lengths,
+                                        ws=workspace, weights=weights)
             return outputs, state
         if weights is not None:
             raise ValueError(
                 "weight overrides are a fused-engine feature (the step "
                 "path reads layer.weight directly)")
-        return self._run_stream_step(chunk, state, lengths), state
+        with _obs.timed_span("engine.run_stream",
+                             metric="engine.run_stream_ms",
+                             engine=engine, batch=batch,
+                             steps=int(chunk.shape[1])):
+            outputs = self._run_stream_step(chunk, state, lengths)
+        return outputs, state
 
     def _run_stream_step(self, chunk: np.ndarray,
                          state: StreamState, lengths) -> np.ndarray:

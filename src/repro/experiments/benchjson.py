@@ -201,6 +201,12 @@ def serving_row_to_report(row: dict) -> dict:
         "recovery_p99_ms": row["recovery_p99_ms"],
         "availability": (1.0 if row["availability"] is None
                          else row["availability"]),
+        "queue_wait_p95_ms": row.get("queue_wait_p95_ms"),
+        "tick_compute_p95_ms": row.get("tick_compute_p95_ms"),
+        # The run table carries no pool snapshot (harness serving cells
+        # run in-process); the field exists so the regenerated shape
+        # matches ServingReport.to_dict() exactly.
+        "pool_stats": None,
     }
 
 

@@ -53,6 +53,10 @@ def _build_parser() -> argparse.ArgumentParser:
     harness.add_argument("--bench-json", action="store_true",
                          help="also regenerate the BENCH_*.json views "
                               "this table has rows for")
+    harness.add_argument("--trace-dir", default=None,
+                         help="switch telemetry on and export per-run "
+                              "JSONL traces + Prometheus snapshots into "
+                              "this directory (see docs/observability.md)")
     return parser
 
 
@@ -84,10 +88,13 @@ def main(argv: list[str] | None = None) -> int:
         from .harness import preset_scenarios, run_scenarios
 
         started = time.perf_counter()
-        table = run_scenarios(preset_scenarios(args.preset), log=print)
+        table = run_scenarios(preset_scenarios(args.preset), log=print,
+                              trace_dir=args.trace_dir)
         table.write_csv(args.table)
         print(f"wrote {args.table} ({len(table)} rows, "
               f"{time.perf_counter() - started:.1f}s)")
+        if args.trace_dir:
+            print(f"wrote telemetry artifacts to {args.trace_dir}/")
         if args.bench_json:
             from ..common.errors import ExperimentError
             from . import benchjson

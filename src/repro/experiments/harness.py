@@ -33,9 +33,11 @@ from __future__ import annotations
 import contextlib
 import statistics
 import time
+from pathlib import Path
 
 import numpy as np
 
+from .. import obs as _obs
 from ..common.benchcfg import (
     BENCH_FORWARD_BATCH,
     BENCH_SIZES,
@@ -308,6 +310,8 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
         "requests_failed": report.requests_failed,
         "recovery_p99_ms": report.recovery_p99_ms,
         "availability": report.availability,
+        "queue_wait_p95_ms": report.queue_wait_p95_ms,
+        "tick_compute_p95_ms": report.tick_compute_p95_ms,
     }
 
 
@@ -330,14 +334,26 @@ _RUNNERS = {
 # -- the harness -------------------------------------------------------------
 
 def run_scenarios(scenarios, table: RunTable | None = None,
-                  timer=None, log=None) -> RunTable:
+                  timer=None, log=None, trace_dir=None) -> RunTable:
     """Expand and execute ``scenarios``; return the filled run table.
 
     ``table`` lets callers accumulate several invocations into one
     artifact; ``timer`` replaces the wall clock (tests); ``log`` is an
     optional ``print``-like progress callback.
+
+    ``trace_dir`` switches telemetry on: every run executes under a
+    fresh :class:`repro.obs.Telemetry` bundle on the harness clock, and
+    exports ``<run_id>.trace.jsonl`` (the JSONL trace) plus
+    ``<run_id>.prom`` (the Prometheus metrics snapshot) into that
+    directory — the per-run artifacts next to ``run_table.csv``.  With
+    the default ``None`` no telemetry is installed and runs measure
+    exactly as before (the overhead gate in ``tools/obs_smoke.py``
+    compares the two modes).
     """
     table = RunTable() if table is None else table
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     with _HarnessContext(timer=timer) as ctx:
         for scenario in scenarios:
             if not isinstance(scenario, Scenario):
@@ -345,7 +361,17 @@ def run_scenarios(scenarios, table: RunTable | None = None,
                     f"run_scenarios expects Scenario objects, "
                     f"got {type(scenario).__name__}")
             for spec in expand(scenario):
-                measurement = _RUNNERS[spec.kind](spec, ctx)
+                telemetry = (None if trace_dir is None
+                             else _obs.Telemetry(clock=ctx.timer))
+                with _obs.active(telemetry):
+                    measurement = _RUNNERS[spec.kind](spec, ctx)
+                if telemetry is not None:
+                    slug = spec.run_id.replace("/", "__")
+                    telemetry.tracer.write_jsonl(
+                        trace_dir / f"{slug}.trace.jsonl")
+                    (trace_dir / f"{slug}.prom").write_text(
+                        telemetry.metrics.render_prometheus(),
+                        encoding="utf-8")
                 row = table.append(
                     run_id=spec.run_id,
                     scenario=scenario.name,
@@ -372,8 +398,9 @@ def run_scenarios(scenarios, table: RunTable | None = None,
 
 
 def run_scenario(scenario: Scenario, table: RunTable | None = None,
-                 timer=None, log=None) -> RunTable:
-    return run_scenarios([scenario], table=table, timer=timer, log=log)
+                 timer=None, log=None, trace_dir=None) -> RunTable:
+    return run_scenarios([scenario], table=table, timer=timer, log=log,
+                         trace_dir=trace_dir)
 
 
 def _render_row(row: dict) -> str:

@@ -75,6 +75,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from .. import obs as _obs
 from ..common import faults as _faults
 from .supervisor import RestartPolicy, WorkerSupervisor
 
@@ -416,9 +417,19 @@ class WorkerPool:
         if timeout is None:
             timeout = float(os.environ.get("REPRO_POOL_TIMEOUT", "600"))
         self.timeout = timeout
-        #: Lifetime robustness counters: ``restarts`` (workers respawned)
-        #: and ``retries`` (in-flight commands requeued after a heal).
-        self.stats = {"restarts": 0, "retries": 0}
+        # Lifetime robustness counters live in a *private* registry (not
+        # the installed telemetry's): pools outlive runs via PoolCache,
+        # so binding them to one run's registry would strand the others.
+        # The installed tracer is looked up per event instead.
+        self.metrics = _obs.MetricsRegistry()
+        self._c_restarts = self.metrics.counter(
+            "pool.restarts", help="workers respawned by the supervisor")
+        self._c_retries = self.metrics.counter(
+            "pool.retries", help="in-flight commands requeued after a heal")
+        self._c_dispatches = self.metrics.counter(
+            "pool.dispatches", help="dispatch rounds sent to the fleet")
+        self._c_timeouts = self.metrics.counter(
+            "pool.timeouts", help="workers declared unresponsive (timeout)")
         self._supervisor = WorkerSupervisor(self, restart_policy)
         # Every attribute close() touches exists before anything that can
         # raise, so a failed constructor (bad start method, spawn failure)
@@ -448,6 +459,26 @@ class WorkerPool:
             self.close()
             raise
         _LIVE_POOLS.add(self)
+
+    @property
+    def stats(self) -> dict:
+        """Lifetime robustness counters (a view over :attr:`metrics`).
+
+        ``restarts`` (workers respawned), ``retries`` (in-flight
+        commands requeued after a heal), ``dispatches`` (dispatch
+        rounds), ``timeouts`` (workers declared unresponsive), and
+        ``respawns`` (per-worker respawn counts, ``{index: count}``).
+        """
+        return {
+            "restarts": int(self._c_restarts.value),
+            "retries": int(self._c_retries.value),
+            "dispatches": int(self._c_dispatches.value),
+            "timeouts": int(self._c_timeouts.value),
+            "respawns": {
+                int(inst.labels[0][1]): int(inst.value)
+                for inst in self.metrics.labelled("pool.respawns")
+            },
+        }
 
     def _spawn_worker(self, index: int):
         """Start one worker process for slot ``index`` (current generation)."""
@@ -531,6 +562,7 @@ class WorkerPool:
                     f"pool worker {index} died (exit code "
                     f"{self._procs[index].exitcode})", workers=(index,))
             if time.monotonic() > deadline:
+                self._c_timeouts.inc()
                 raise PoolTransportError(
                     f"pool worker {index} unresponsive after "
                     f"{timeout:.0f}s", workers=(index,))
@@ -566,6 +598,13 @@ class WorkerPool:
     _WINDOW_BYTES = 1 << 14
 
     def _dispatch(self, assignments, timeout: float | None = None):
+        """Counted + traced wrapper around :meth:`_dispatch_inner`."""
+        self._c_dispatches.inc()
+        with _obs.span("pool.dispatch", commands=len(assignments),
+                       workers=len({w for w, _ in assignments})):
+            return self._dispatch_inner(assignments, timeout=timeout)
+
+    def _dispatch_inner(self, assignments, timeout: float | None = None):
         """Send ``[(worker, msg), ...]`` and collect replies in list order.
 
         Sends are interleaved with receives, bounded per worker both in
@@ -691,7 +730,8 @@ class WorkerPool:
                 continue
             requeued = [(position, bufs[position])
                         for position, _ in pending]
-            self.stats["retries"] += len(requeued)
+            self._c_retries.inc(len(requeued))
+            _obs.event("pool.retry", worker=worker, requeued=len(requeued))
             queues[worker].extendleft(reversed(requeued))
             pending.clear()
             inflight_bytes[worker] = 0
@@ -718,6 +758,7 @@ class WorkerPool:
             if time.monotonic() > deadline:
                 # No way to tell which of the awaited workers hung;
                 # the heal replaces all of them.
+                self._c_timeouts.inc(len(workers))
                 raise PoolTransportError(
                     f"pool workers {workers} unresponsive after "
                     f"{timeout:.0f}s", workers=tuple(workers))

@@ -34,6 +34,8 @@ from __future__ import annotations
 import dataclasses
 import time
 
+from .. import obs as _obs
+
 __all__ = ["RestartPolicy", "WorkerSupervisor"]
 
 
@@ -101,7 +103,12 @@ class WorkerSupervisor:
         pool._procs[index] = proc
         pool._conns[index] = conn
         self.restarts += 1
-        pool.stats["restarts"] += 1
+        pool._c_restarts.inc()
+        pool.metrics.counter(
+            "pool.respawns",
+            help="respawns of one worker slot", worker=index).inc()
+        _obs.event("pool.respawn", worker=index,
+                   generation=pool._generations[index])
         pool._recv(index)  # "ready" handshake from the new generation
 
     def _reclaim(self, index: int) -> None:

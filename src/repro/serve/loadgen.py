@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -66,6 +67,17 @@ class ServingReport:
     #: rejections are back-pressure, not unavailability, and are
     #: excluded (reported separately as ``rejected``).
     availability: float = 1.0
+    #: p95 of per-chunk queue wait (submit to serving tick, virtual
+    #: clock, ms) — from the server's ``serve.queue_wait_ms`` histogram,
+    #: windowed to this run.  ``None`` when nothing was batched.
+    queue_wait_p95_ms: float | None = None
+    #: p95 of measured per-tick compute (the load generator's ``timer``,
+    #: ms).  ``None`` when no tick completed anything.
+    tick_compute_p95_ms: float | None = None
+    #: ``WorkerPool.stats`` snapshot of the deployment's pool (restarts,
+    #: retries, dispatches, timeouts, per-worker respawns); ``None``
+    #: when the served path ran without one.
+    pool_stats: dict | None = None
 
     @classmethod
     def from_run(cls, offered_rps: float, duration_s: float,
@@ -74,7 +86,10 @@ class ServingReport:
                  divergence: float | None = None,
                  expired: int = 0, failed: int = 0,
                  retried_latencies_s: list[float] | None = None,
-                 faults_injected: int = 0) -> "ServingReport":
+                 faults_injected: int = 0,
+                 queue_wait_p95_ms: float | None = None,
+                 tick_compute_p95_ms: float | None = None,
+                 pool_stats: dict | None = None) -> "ServingReport":
         completed = len(latencies_s)
         # The virtual clock runs on numpy scalars (np.cumsum arrivals);
         # coerce to builtin floats so downstream renderers (the run
@@ -121,6 +136,11 @@ class ServingReport:
             recovery_p99_ms=recovery_p99,
             availability=(round(completed / resolved, 6) if resolved
                           else 1.0),
+            queue_wait_p95_ms=(None if queue_wait_p95_ms is None
+                               else round(float(queue_wait_p95_ms), 3)),
+            tick_compute_p95_ms=(None if tick_compute_p95_ms is None
+                                 else round(float(tick_compute_p95_ms), 3)),
+            pool_stats=pool_stats,
         )
 
     def to_dict(self) -> dict:
@@ -146,7 +166,8 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
               spike_density: float = 0.03,
               rng: RandomState | int | None = 0,
               workload=None,
-              timer=time.perf_counter) -> ServingReport:
+              timer=time.perf_counter, pool=None,
+              export_dir=None) -> ServingReport:
     """Drive ``server`` with a Poisson open-loop arrival process.
 
     Parameters
@@ -176,7 +197,19 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
     timer:
         Clock used to measure per-tick compute (seconds, monotonic).
         The default is real wall time; the scenario harness injects a
-        deterministic fake in its reproducibility tests.
+        deterministic fake in its reproducibility tests.  Each completed
+        tick's measurement is also observed into the server's
+        ``serve.tick_compute_ms`` histogram, and the run's p95 lands in
+        the report.
+    pool:
+        Optional :class:`~repro.runtime.pool.WorkerPool` backing the
+        deployment; its ``stats`` snapshot is attached to the report
+        (``pool_stats``) after the run.
+    export_dir:
+        Optional directory to export telemetry artifacts into after the
+        run: ``serving.prom`` (the server registry's Prometheus text
+        snapshot) always, plus ``serving.trace.jsonl`` when the server
+        carries a telemetry bundle (see :mod:`repro.obs`).
     """
     rng = as_random_state(rng)
     n_in = server.network.sizes[0]
@@ -213,6 +246,15 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
     index = 0
     plan = _faults.active_plan()
     injected_before = sum(plan.injected.values()) if plan else 0
+    # Window the shared histograms to this run: the server instruments
+    # outlive a single open_loop call (and a PoolCache'd server may host
+    # several), so percentiles read only the samples added from here on.
+    queue_wait = server.metrics.histogram("serve.queue_wait_ms")
+    tick_compute = server.metrics.histogram(
+        "serve.tick_compute_ms",
+        help="measured wall-clock compute per completed tick (ms)")
+    queue_wait_start = queue_wait.count
+    tick_compute_start = tick_compute.count
 
     def settle(after: float, completed: int) -> None:
         """Resolve finished tickets against the post-compute time."""
@@ -245,6 +287,7 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
         after = at + elapsed
         if completed:
             ticks += 1
+            tick_compute.observe(elapsed * 1e3)
         # Scan even on completed == 0: a poll may resolve tickets only
         # by shedding expired requests or failing poisoned ones.
         settle(after, completed)
@@ -303,9 +346,23 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
                   if getattr(server, "shadow", False) else None)
     injected = (sum(plan.injected.values()) - injected_before if plan
                 else 0)
-    return ServingReport.from_run(rate_rps, duration, latencies, rejected,
-                                  ticks, steps_served,
-                                  divergence=divergence,
-                                  expired=expired, failed=failed,
-                                  retried_latencies_s=retried_latencies,
-                                  faults_injected=injected)
+    # Drain-time accounting tripwire: every submission this run made (and
+    # any the server saw before) must be booked exactly once.
+    server.check_invariants()
+    if export_dir is not None:
+        export_dir = Path(export_dir)
+        export_dir.mkdir(parents=True, exist_ok=True)
+        (export_dir / "serving.prom").write_text(
+            server.metrics.render_prometheus(), encoding="utf-8")
+        if server.telemetry is not None:
+            server.telemetry.tracer.write_jsonl(
+                export_dir / "serving.trace.jsonl")
+    return ServingReport.from_run(
+        rate_rps, duration, latencies, rejected, ticks, steps_served,
+        divergence=divergence, expired=expired, failed=failed,
+        retried_latencies_s=retried_latencies, faults_injected=injected,
+        queue_wait_p95_ms=queue_wait.percentile(95,
+                                                start=queue_wait_start),
+        tick_compute_p95_ms=tick_compute.percentile(
+            95, start=tick_compute_start),
+        pool_stats=None if pool is None else pool.stats)

@@ -54,6 +54,7 @@ import time
 
 import numpy as np
 
+from .. import obs as _obs
 from ..common import faults as _faults
 from ..common.errors import ShapeError, StateError
 from ..core.engine import StreamState, resolve_precision
@@ -68,6 +69,26 @@ from .batcher import MicroBatcher, StreamRequest, Ticket
 from .session import Session
 
 __all__ = ["ModelServer"]
+
+#: The server's counter instruments (``serve.<key>`` in the registry);
+#: the legacy ``stats`` keys are a compatibility view over these.
+_SERVE_COUNTERS = (
+    ("submitted", "admission attempts that reached the queue (incl. "
+                  "rejected)"),
+    ("rejected", "chunks refused by the bounded queue"),
+    ("completed", "chunks answered"),
+    ("ticks", "server ticks that served at least one chunk"),
+    ("steps", "simulated time steps served"),
+    ("closed_sessions", "sessions closed by their client"),
+    ("shadow_chunks", "chunks also advanced through the shadow stream"),
+    ("expired", "chunks shed past their queue-time deadline"),
+    ("failed", "chunks whose ticket resolved with an error"),
+    ("retried", "chunks completed via the isolation retry path"),
+    ("degraded_chunks", "chunks served through a fallback weight read"),
+    ("weight_fallbacks", "hardware weight reads that fell back to ideal"),
+    ("shadow_failures", "shadow-path failures absorbed by the breaker"),
+    ("reaped_sessions", "idle sessions dropped past session_ttl_s"),
+)
 
 
 class ModelServer:
@@ -120,6 +141,14 @@ class ModelServer:
         ever failing the primary.
     clock:
         0-arg callable returning seconds; default ``time.monotonic``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle.  Defaults to the
+        process-installed bundle (:func:`repro.obs.active_telemetry`) at
+        construction time, so a server built inside ``obs.active(...)``
+        records its metrics into the run's shared registry and emits
+        per-ticket lifecycle events on its tracer.  Without a bundle
+        the server still meters — counters live in a private registry
+        behind the :attr:`stats` view — but emits no trace records.
     """
 
     def __init__(self, network: SpikingNetwork, *, engine: str = "fused",
@@ -129,7 +158,8 @@ class ModelServer:
                  shadow: bool = False,
                  request_ttl_ms: float | None = None,
                  session_ttl_s: float | None = None,
-                 shadow_threshold: int = 3, clock=time.monotonic):
+                 shadow_threshold: int = 3, clock=time.monotonic,
+                 telemetry: _obs.Telemetry | None = None):
         if engine not in ("fused", "step"):
             raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
         if shadow and hardware is None:
@@ -177,15 +207,37 @@ class ModelServer:
         self._sessions: dict[str, Session] = {}
         self._session_seq = 0
         self._request_seq = 0
-        self.stats = {
-            "submitted": 0, "rejected": 0, "completed": 0, "ticks": 0,
-            "steps": 0, "max_tick_batch": 0, "closed_sessions": 0,
-            "shadow_chunks": 0, "divergence_sum": 0.0,
-            # Robustness counters (see docs/robustness.md):
-            "expired": 0, "failed": 0, "retried": 0, "degraded_chunks": 0,
-            "weight_fallbacks": 0, "shadow_failures": 0,
-            "reaped_sessions": 0,
+        self.telemetry = (telemetry if telemetry is not None
+                          else _obs.active_telemetry())
+        self.metrics = (self.telemetry.metrics
+                        if self.telemetry is not None
+                        else _obs.MetricsRegistry())
+        # Bind the trace hooks once: with telemetry these are the
+        # tracer's own methods (no per-call indirection on the hot
+        # lifecycle-event path), without they are shared no-ops.
+        if self.telemetry is not None:
+            self._event = self.telemetry.tracer.event
+            self._span = self.telemetry.tracer.span
+            self._trace_clock = self.telemetry.clock
+        else:
+            self._event = self._noop_event
+            self._span = self._noop_span
+            self._trace_clock = None
+        self._counters = {
+            key: self.metrics.counter(f"serve.{key}", help=help_text)
+            for key, help_text in _SERVE_COUNTERS
         }
+        self._divergence_sum = self.metrics.counter(
+            "serve.divergence_sum",
+            help="summed per-chunk shadow output divergence")
+        self._max_tick_batch = self.metrics.gauge(
+            "serve.max_tick_batch", help="largest batch any tick served")
+        # Queue wait is virtual time (tick `now` minus request arrival) —
+        # pure arithmetic on injected clocks, so it is always metered and
+        # stays deterministic under the harness fake timer.
+        self._queue_wait = self.metrics.histogram(
+            "serve.queue_wait_ms",
+            help="per-chunk wait between submit and its serving tick (ms)")
 
     @classmethod
     def from_registry(cls, registry, name: str, version: str | None = None,
@@ -234,6 +286,56 @@ class ModelServer:
         server.model_meta = meta
         return server
 
+    # -- telemetry -----------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Legacy counter view over the registry instruments.
+
+        Same keys and int/float types as the pre-``repro.obs`` dict;
+        the instruments themselves live in :attr:`metrics` under
+        ``serve.<key>`` names.
+        """
+        view = {key: int(counter.value)
+                for key, counter in self._counters.items()}
+        view["max_tick_batch"] = int(self._max_tick_batch.value)
+        view["divergence_sum"] = self._divergence_sum.value
+        return view
+
+    @staticmethod
+    def _noop_event(name: str, **attrs) -> None:
+        return None
+
+    @staticmethod
+    def _noop_span(name: str, **attrs):
+        return _obs.NULL_SPAN
+
+    def check_invariants(self) -> dict:
+        """Verify ticket accounting: every submission must be exactly one
+        of completed / expired / failed / rejected / still queued.
+
+        Returns the accounting dict; raises ``StateError`` when the
+        books don't balance — the tripwire that keeps the registry
+        migration (or any future refactor) from silently losing tickets.
+        """
+        c = self._counters
+        accounted = (int(c["completed"].value) + int(c["expired"].value)
+                     + int(c["failed"].value) + int(c["rejected"].value)
+                     + self.batcher.pending)
+        submitted = int(c["submitted"].value)
+        books = {
+            "submitted": submitted,
+            "completed": int(c["completed"].value),
+            "expired": int(c["expired"].value),
+            "failed": int(c["failed"].value),
+            "rejected": int(c["rejected"].value),
+            "in_flight": self.batcher.pending,
+        }
+        if submitted != accounted:
+            raise StateError(
+                f"ticket accounting drift: submitted={submitted} but "
+                f"accounted={accounted} ({books})")
+        return books
+
     # -- sessions ------------------------------------------------------------
     def open_session(self, now: float | None = None) -> str:
         """Create a fresh stream; returns its session id."""
@@ -263,7 +365,8 @@ class ModelServer:
         complete — the session object lives until they drain."""
         self.session(session_id)
         del self._sessions[session_id]
-        self.stats["closed_sessions"] += 1
+        self._counters["closed_sessions"].inc()
+        self._event("session.closed", session=session_id)
 
     @property
     def sessions(self) -> int:
@@ -290,7 +393,8 @@ class ModelServer:
             # Lazy reap: an abandoned session is indistinguishable from a
             # closed one by the time its client returns.
             del self._sessions[session_id]
-            self.stats["reaped_sessions"] += 1
+            self._counters["reaped_sessions"].inc()
+            self._event("session.reaped", session=session_id)
             raise StateError(
                 f"session {session_id!r} expired after "
                 f"{self.session_ttl:g}s idle")
@@ -305,13 +409,21 @@ class ModelServer:
                     else now + self.request_ttl)
         ticket = Ticket(session_id, now, deadline=deadline)
         request = StreamRequest(self._request_seq, session, chunk, ticket)
+        # Count the admission attempt *before* the queue decides, so the
+        # check_invariants books always balance: every submission is
+        # exactly one of rejected / queued (and queued ones later resolve
+        # completed / expired / failed).
+        self._counters["submitted"].inc()
         try:
             self.batcher.submit(request)
         except Exception:
-            self.stats["rejected"] += 1
+            self._counters["rejected"].inc()
+            self._event("ticket.rejected", request=request.seq,
+                        session=session_id)
             raise
         self._request_seq += 1
-        self.stats["submitted"] += 1
+        self._event("ticket.submitted", request=request.seq,
+                    session=session_id, steps=request.steps)
         return ticket
 
     # -- scheduling ----------------------------------------------------------
@@ -370,7 +482,10 @@ class ModelServer:
             return
         for request in self.batcher.shed_expired(now):
             request.ticket.expire(now)
-            self.stats["expired"] += 1
+            self._counters["expired"].inc()
+            self._event("ticket.expired", request=request.seq,
+                        session=request.session.session_id,
+                        waited_ms=(now - request.arrival) * 1e3)
 
     def _reap_sessions(self, now: float) -> None:
         """Drop sessions idle past ``session_ttl_s`` with nothing queued."""
@@ -383,7 +498,8 @@ class ModelServer:
         ]
         for sid in reapable:
             del self._sessions[sid]
-            self.stats["reaped_sessions"] += 1
+            self._counters["reaped_sessions"].inc()
+            self._event("session.reaped", session=sid)
 
     # -- the tick ------------------------------------------------------------
     def _primary_weights(self):
@@ -404,7 +520,8 @@ class ModelServer:
             _faults.maybe_raise("hw.weights.stale")
             return self.hardware.weight_list(), False
         except Exception:
-            self.stats["weight_fallbacks"] += 1
+            self._counters["weight_fallbacks"].inc()
+            self._event("serve.weight_fallback")
             return None, True
 
     @property
@@ -417,33 +534,39 @@ class ModelServer:
         requests = self.batcher.collect()
         if not requests:
             return 0
-        weights, degraded = self._primary_weights()
-        # Per-request poison flags are drawn before the batched attempt:
-        # a fault plan can fail one specific chunk while its co-batched
-        # neighbours complete (the isolation contract).
-        poisoned = [_faults.should_fire("serve.request.raise")
-                    for _ in requests]
-        if any(poisoned):
-            completed = self._isolate(requests, poisoned, weights, now,
-                                      degraded)
-        else:
-            try:
-                completed = self._advance(requests, weights, now, degraded)
-            except Exception:
-                # The batched attempt died mid-tick: its workspace
-                # buffers are stranded mid-lend, and no session state
-                # was advanced (the scatter never ran).  Reclaim and
-                # retry each chunk in isolation.
-                self._workspace.reclaim()
+        for request in requests:
+            # Virtual queue wait: both times sit on the injected clock.
+            self._queue_wait.observe((now - request.arrival) * 1e3)
+            self._event("ticket.batched", request=request.seq,
+                        session=request.session.session_id)
+        with self._span("serve.tick", batch=len(requests)) as tick_span:
+            weights, degraded = self._primary_weights()
+            # Per-request poison flags are drawn before the batched
+            # attempt: a fault plan can fail one specific chunk while its
+            # co-batched neighbours complete (the isolation contract).
+            poisoned = [_faults.should_fire("serve.request.raise")
+                        for _ in requests]
+            if any(poisoned):
                 completed = self._isolate(requests, poisoned, weights, now,
                                           degraded)
-        self.stats["ticks"] += 1
-        self.stats["max_tick_batch"] = max(self.stats["max_tick_batch"],
-                                           len(requests))
+            else:
+                try:
+                    completed = self._advance(requests, weights, now,
+                                              degraded, span=tick_span)
+                except Exception:
+                    # The batched attempt died mid-tick: its workspace
+                    # buffers are stranded mid-lend, and no session state
+                    # was advanced (the scatter never ran).  Reclaim and
+                    # retry each chunk in isolation.
+                    self._workspace.reclaim()
+                    completed = self._isolate(requests, poisoned, weights,
+                                              now, degraded)
+        self._counters["ticks"].inc()
+        self._max_tick_batch.set_max(len(requests))
         return completed
 
     def _advance(self, requests, weights, now: float, degraded: bool,
-                 retried: bool = False) -> int:
+                 retried: bool = False, span=None) -> int:
         """Advance ``requests`` in one batched run and complete tickets.
 
         This is the only computation path — the happy tick runs it on
@@ -451,30 +574,42 @@ class ModelServer:
         at a time.  The fused engine's gather/scatter transparency makes
         the two bitwise-identical, so a retried chunk's outputs equal
         the ones its failed batched tick would have produced.
+
+        ``span`` is the enclosing ``serve.tick`` span (``None`` with
+        telemetry off, or on the isolation path): the gather / compute /
+        scatter phase breakdown lands on it as millisecond attrs —
+        three clock reads instead of three child span objects, because
+        this is the serving hot loop.
         """
         if not retried:
             _faults.maybe_raise("serve.tick.raise")
+        clock = self._trace_clock if span is not None else None
         ws = self._workspace
         n_in = self.network.sizes[0]
         count = len(requests)
         lengths = np.fromiter((r.steps for r in requests), np.int64, count)
         t_max = int(lengths.max())
+        t0 = clock() if clock is not None else 0.0
         xs = ws.empty((count, t_max, n_in), self.dtype)
         for row, request in enumerate(requests):
             steps = request.steps
             xs[row, :steps] = request.chunk
             if steps < t_max:
                 xs[row, steps:] = 0.0
-        # The gather state is tick-transient, so its arrays come from (and
-        # return to) the workspace: steady-state serving with repeating
-        # tick shapes allocates nothing here.
+        # The gather state is tick-transient, so its arrays come from
+        # (and return to) the workspace: steady-state serving with
+        # repeating tick shapes allocates nothing here.
         batched = StreamState.for_network(self.network, count,
                                           engine=self.engine,
                                           dtype=self.dtype, ws=ws)
         for row, request in enumerate(requests):
             batched.copy_row(row, request.session.state, 0)
-        outputs, _ = self.network.run_stream(xs, batched, lengths=lengths,
-                                             workspace=ws, weights=weights)
+        t1 = clock() if clock is not None else 0.0
+        outputs, _ = self.network.run_stream(xs, batched,
+                                             lengths=lengths,
+                                             workspace=ws,
+                                             weights=weights)
+        t2 = clock() if clock is not None else 0.0
         divergences = self._shadow_divergences(requests, xs, lengths,
                                                outputs, ws)
         for row, request in enumerate(requests):
@@ -488,14 +623,24 @@ class ModelServer:
             ticket.degraded = degraded
             ticket.retried = retried
             ticket.complete(outputs[row, :request.steps].copy(), now)
+            self._event("ticket.completed", request=request.seq,
+                        session=request.session.session_id,
+                        steps=request.steps, degraded=degraded,
+                        retried=retried, divergence=ticket.divergence)
         batched.release_to(ws)
         ws.release(xs, outputs)
-        self.stats["completed"] += count
-        self.stats["steps"] += int(lengths.sum())
+        if clock is not None:
+            end = clock()
+            span.set(steps=t_max, degraded=degraded,
+                     gather_ms=(t1 - t0) * 1e3,
+                     compute_ms=(t2 - t1) * 1e3,
+                     scatter_ms=(end - t2) * 1e3)
+        self._counters["completed"].inc(count)
+        self._counters["steps"].inc(int(lengths.sum()))
         if degraded:
-            self.stats["degraded_chunks"] += count
+            self._counters["degraded_chunks"].inc(count)
         if retried:
-            self.stats["retried"] += count
+            self._counters["retried"].inc(count)
         return count
 
     def _isolate(self, requests, poisoned, weights, now: float,
@@ -521,7 +666,9 @@ class ModelServer:
                     self._workspace.reclaim()
                     error = f"{type(exc).__name__}: {exc}"
             request.ticket.fail(error, now)
-            self.stats["failed"] += 1
+            self._counters["failed"].inc()
+            self._event("ticket.failed", request=request.seq,
+                        session=request.session.session_id, error=error)
         return completed
 
     def _shadow_divergences(self, requests, xs, lengths, outputs, ws):
@@ -539,9 +686,14 @@ class ModelServer:
             _faults.maybe_raise("serve.shadow.raise")
             return self._run_shadow(requests, xs, lengths, outputs, ws)
         except Exception:
-            self.stats["shadow_failures"] += 1
-            if self.stats["shadow_failures"] >= self.shadow_threshold:
+            self._counters["shadow_failures"].inc()
+            self._event("serve.shadow_failure",
+                        failures=int(self._counters["shadow_failures"].value))
+            if (self._counters["shadow_failures"].value
+                    >= self.shadow_threshold):
                 self._shadow_tripped = True
+                self._event("serve.shadow_breaker_tripped",
+                            threshold=self.shadow_threshold)
             return None
 
     def _run_shadow(self, requests, xs, lengths, outputs, ws) -> list[float]:
@@ -554,34 +706,39 @@ class ModelServer:
         this chunk.
         """
         count = len(requests)
-        shadow_batched = StreamState.for_network(self.network, count,
-                                                 engine=self.engine,
-                                                 dtype=self.dtype, ws=ws)
-        for row, request in enumerate(requests):
-            shadow_batched.copy_row(row, request.session.shadow_state, 0)
-        shadow_out, _ = self.network.run_stream(
-            xs, shadow_batched, lengths=lengths, workspace=ws,
-            weights=self.hardware.weight_list())
-        divergences = []
-        for row, request in enumerate(requests):
-            request.session.shadow_state.copy_row(0, shadow_batched, row)
-            steps = request.steps
-            divergences.append(float(np.mean(
-                outputs[row, :steps] != shadow_out[row, :steps])))
-        shadow_batched.release_to(ws)
-        ws.release(shadow_out)
-        self.stats["shadow_chunks"] += count
-        self.stats["divergence_sum"] += float(sum(divergences))
+        with self._span("serve.shadow", batch=count) as shadow_span:
+            shadow_batched = StreamState.for_network(self.network, count,
+                                                     engine=self.engine,
+                                                     dtype=self.dtype, ws=ws)
+            for row, request in enumerate(requests):
+                shadow_batched.copy_row(row, request.session.shadow_state, 0)
+            shadow_out, _ = self.network.run_stream(
+                xs, shadow_batched, lengths=lengths, workspace=ws,
+                weights=self.hardware.weight_list())
+            divergences = []
+            for row, request in enumerate(requests):
+                request.session.shadow_state.copy_row(0, shadow_batched, row)
+                steps = request.steps
+                divergences.append(float(np.mean(
+                    outputs[row, :steps] != shadow_out[row, :steps])))
+            shadow_batched.release_to(ws)
+            ws.release(shadow_out)
+            if shadow_span is not None:
+                shadow_span.set(divergence=float(sum(divergences)) / count)
+        self._counters["shadow_chunks"].inc(count)
+        self._divergence_sum.inc(float(sum(divergences)))
         return divergences
 
     def mean_divergence(self) -> float | None:
         """Mean per-chunk ideal-vs-hardware output divergence observed so
         far (shadow mode), or ``None`` before any shadowed chunk."""
-        if not self.stats["shadow_chunks"]:
+        if not self._counters["shadow_chunks"].value:
             return None
-        return self.stats["divergence_sum"] / self.stats["shadow_chunks"]
+        return (self._divergence_sum.value
+                / self._counters["shadow_chunks"].value)
 
     # -- offline bulk --------------------------------------------------------
+    @_obs.timed("serve.run_batch", metric="serve.run_batch_ms")
     def run_batch(self, inputs: np.ndarray, batch_size: int = 64,
                   workers: int = 0, pool=None) -> np.ndarray:
         """Stateless bulk inference on the served model (no sessions).

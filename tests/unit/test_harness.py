@@ -304,8 +304,12 @@ class TestBenchJsonRoundTrip:
                             "latency_ms", "divergence",
                             "faults_injected", "requests_retried",
                             "requests_expired", "requests_failed",
-                            "recovery_p99_ms", "availability"}
+                            "recovery_p99_ms", "availability",
+                            "queue_wait_p95_ms", "tick_compute_p95_ms",
+                            "pool_stats"}
         assert row["availability"] == 1.0          # a clean serving run
+        assert row["queue_wait_p95_ms"] is not None
+        assert row["tick_compute_p95_ms"] is not None
         assert set(row["latency_ms"]) == {"p50", "p95", "p99", "mean",
                                           "max"}
         assert report["serving"]["shadow_float64"]["light"]["divergence"] \
