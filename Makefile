@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke obs-smoke docs quickstart serve-demo
+.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke obs-smoke fleet-smoke docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
@@ -47,6 +47,10 @@ chaos-smoke:
 ## telemetry gates: trace schema, exporter parsing, overhead <= 5%
 obs-smoke:
 	$(PYTHON) tools/obs_smoke.py --trace-dir traces
+
+## fleet gates: 1-replica equivalence, tenant isolation, canary rollout
+fleet-smoke:
+	$(PYTHON) tools/fleet_smoke.py --table run_table.csv --trace-dir traces/fleet
 
 ## verify the documentation: README/docs exist and their local links resolve
 docs:

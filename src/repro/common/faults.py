@@ -68,6 +68,8 @@ KNOWN_SITES = (
     "serve.request.raise",  # one request's isolated re-run raises
     "serve.shadow.raise",   # the shadow (canary) stream raises
     "hw.weights.stale",     # the hardware weight read fails
+    "fleet.replica.down",   # a fleet replica dies (queue fails, routes move)
+    "fleet.route.misroute", # the fleet router picks the wrong replica
 )
 
 
@@ -267,19 +269,27 @@ def active(plan: FaultPlan, **context):
             install(previous, **previous_context)
 
 
-def hit(site: str) -> FaultRule | None:
+def hit(site: str, **extra) -> FaultRule | None:
     """Visit ``site`` under the active plan; the firing rule or ``None``.
 
     This is the function fault sites call: with no plan installed it
-    returns immediately without counting anything.
+    returns immediately without counting anything.  ``extra`` keys are
+    merged over the installed context for this one visit — how a site
+    that hosts several instances (e.g. the fleet's per-replica
+    ``fleet.replica.down``) exposes *which* instance is visiting to a
+    rule's ``where`` filter.  Note visits are still counted per site,
+    not per context: ``nth`` indices interleave across instances, so
+    instance-targeted schedules should use ``probability`` + ``where``
+    (+ ``times``) rather than ``nth``.
     """
     if _ACTIVE is None:
         return None
-    return _ACTIVE.hit(site, _CONTEXT)
+    context = {**_CONTEXT, **extra} if extra else _CONTEXT
+    return _ACTIVE.hit(site, context)
 
 
-def should_fire(site: str) -> bool:
-    return hit(site) is not None
+def should_fire(site: str, **extra) -> bool:
+    return hit(site, **extra) is not None
 
 
 def maybe_raise(site: str) -> None:

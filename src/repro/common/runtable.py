@@ -38,6 +38,8 @@ ID_COLUMNS = (
     "hw_variation",  # programming-variation sigma (empty when ideal)
     "workload",      # serving rows: synthetic | speech | dvs | glyph | a+b
     "load",          # serving rows: load-point id (light/heavy/...)
+    "tenant",        # fleet rows: tenant id of a per-tenant SLO row
+                     # (empty on the cell's fleet-wide aggregate row)
     "rate_rps",      # serving rows: offered Poisson rate
     "repetition",    # 0-based repetition index
     "seed",          # per-run derived seed (int)
@@ -75,6 +77,14 @@ MEASUREMENT_COLUMNS = (
     # Telemetry columns (serving/chaos rows; see docs/observability.md):
     "queue_wait_p95_ms",    # p95 submit-to-tick wait (virtual clock)
     "tick_compute_p95_ms",  # p95 measured per-tick compute
+    # Fleet columns (fleet rows; see docs/fleet.md):
+    "replicas",        # fleet aggregate: primary replica count
+    "canary_weight",   # fleet aggregate: new-session canary fraction
+    "quota_rejected",  # admission-control rejections (tenant rows: own;
+                       # aggregate row: fleet-wide total)
+    "canary_share",    # fleet aggregate: completed chunks served by the
+                       # canary generation / all completed
+    "misroutes",       # fleet aggregate: route-guard corrections
 )
 
 RUN_TABLE_COLUMNS = ID_COLUMNS + MEASUREMENT_COLUMNS

@@ -38,6 +38,7 @@ from ..common.runtable import RunTable
 __all__ = [
     "aware_report",
     "environment_meta",
+    "fleet_row_to_report",
     "serving_report",
     "serving_row_to_report",
     "serving_workload_meta",
@@ -239,16 +240,49 @@ def serving_report(table: RunTable, meta: dict | None = None) -> dict:
         chaos.setdefault(row["scenario"], {})
         chaos[row["scenario"]].setdefault(row["load"],
                                           serving_row_to_report(row))
-    if not serving and not chaos:
+    # Fleet rows land keyed scenario -> load -> {aggregate, tenants}:
+    # the cell's fleet-wide row plus one report per tenant (the rows
+    # whose run_id carries the "+<tenant>" suffix).
+    fleet: dict = {}
+    for row in _rows(table, "fleet"):
+        cell = (fleet.setdefault(row["scenario"], {})
+                .setdefault(row["load"], {"aggregate": None, "tenants": {}}))
+        if row["tenant"] is None:
+            if cell["aggregate"] is None:
+                cell["aggregate"] = fleet_row_to_report(row)
+        else:
+            cell["tenants"].setdefault(row["tenant"],
+                                       fleet_row_to_report(row))
+    if not serving and not chaos and not fleet:
         raise ExperimentError(
-            "run table has no synthetic serving rows (and no chaos rows); "
-            "run the 'serving' preset before converting")
+            "run table has no synthetic serving rows (and no chaos or "
+            "fleet rows); run the 'serving' preset before converting")
     if meta is None:
         meta = {**environment_meta(),
                 "workload": serving_workload_meta()}
     report = {"meta": meta, "serving": serving}
     if chaos:
         report["chaos"] = chaos
+    if fleet:
+        report["fleet"] = fleet
+    return report
+
+
+def fleet_row_to_report(row: dict) -> dict:
+    """One fleet run-table row (aggregate or per-tenant) as a report
+    dict: the :func:`serving_row_to_report` shape plus the fleet
+    columns.  Per-tenant rows carry only their own ``quota_rejected``;
+    the replica/canary cells are aggregate-row facts and stay ``None``
+    there."""
+    report = serving_row_to_report(row)
+    report.update(
+        tenant=row["tenant"],
+        replicas=row["replicas"],
+        canary_weight=row["canary_weight"],
+        canary_share=row["canary_share"],
+        quota_rejected=row["quota_rejected"],
+        misroutes=row["misroutes"],
+    )
     return report
 
 

@@ -286,10 +286,15 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
                 workload=workload, timer=ctx.timer)
     finally:
         server.close()
+    return _serving_measurement(report, spec.load.requests, sizes)
+
+
+def _serving_measurement(report, requests: int, sizes) -> dict:
+    """A ``ServingReport`` flattened into run-table measurement cells."""
     latency = report.latency_ms
     steps_served = int(round(report.steps_per_s * report.duration_s))
     return {
-        "requests": spec.load.requests,
+        "requests": requests,
         "completed": report.completed,
         "rejected": report.rejected,
         "ticks": report.ticks,
@@ -315,6 +320,92 @@ def _run_serving(spec: RunSpec, ctx: _HarnessContext) -> dict:
     }
 
 
+def _run_fleet(spec: RunSpec, ctx: _HarnessContext) -> dict:
+    """One fleet cell: a multi-tenant open-loop run against a
+    :class:`~repro.serve.fleet.Fleet` (optionally with a canary
+    generation deployed at the scenario's ``canary_weight``).
+
+    Returns the fleet-wide aggregate measurement, with the per-tenant
+    SLO measurements under the ``"__tenants__"`` key —
+    :func:`run_scenarios` appends those as their own rows (``run_id``
+    suffixed ``+<tenant>``, tenant identity column filled).
+    """
+    from ..serve import Fleet, TenantQuota
+    from ..serve.loadgen import TenantLoad, open_loop_fleet
+
+    scenario = spec.scenario
+    run_seed = _run_seed(spec)
+    workload = ctx.workload(spec.workload, scenario.sizes[0],
+                            seed=spec.seed,
+                            density=scenario.spike_density)
+    sizes = (workload.channels,) + tuple(scenario.sizes[1:])
+    net = ctx.network(sizes, seed=0)
+    hardware = None
+    if spec.hardware is not None:
+        from ..hardware import HardwareProfile
+
+        hardware = HardwareProfile.create(
+            bits=spec.hardware.bits, variation=spec.hardware.variation,
+            seed=spec.hardware.seed).build(net)
+    fleet = Fleet(
+        net, replicas=scenario.replicas, engine=spec.engine,
+        precision=spec.precision, max_batch=scenario.max_batch,
+        max_wait_ms=scenario.max_wait_ms,
+        queue_limit=scenario.queue_limit, hardware=hardware,
+        shadow=spec.hardware.shadow if spec.hardware else False,
+        request_ttl_ms=scenario.request_ttl_ms,
+        session_ttl_s=scenario.session_ttl_s, seed=run_seed)
+    try:
+        if scenario.canary_weight:
+            canary_hardware = None
+            canary_shadow = False
+            if scenario.canary_hardware is not None:
+                from ..hardware import HardwareProfile
+
+                canary_hardware = HardwareProfile.create(
+                    bits=scenario.canary_hardware.bits,
+                    variation=scenario.canary_hardware.variation,
+                    seed=scenario.canary_hardware.seed).build(net)
+                canary_shadow = scenario.canary_hardware.shadow
+            fleet.deploy_canary(weight=scenario.canary_weight,
+                                hardware=canary_hardware,
+                                shadow=canary_shadow)
+        mix = tuple(
+            TenantLoad(
+                tenant.id, share=tenant.share, sessions=tenant.sessions,
+                quota=(TenantQuota(rate_rps=tenant.quota_rps,
+                                   burst=tenant.burst,
+                                   max_pending=tenant.max_pending)
+                       if (tenant.quota_rps is not None
+                           or tenant.max_pending is not None) else None))
+            for tenant in scenario.tenants)
+        report = open_loop_fleet(
+            fleet, tenants=mix, requests=spec.load.requests,
+            chunk_steps=scenario.chunk_steps,
+            rate_rps=spec.load.rate_rps, rng=run_seed,
+            workload=workload, timer=ctx.timer)
+    finally:
+        fleet.close()
+    measurement = _serving_measurement(report.aggregate,
+                                       spec.load.requests, sizes)
+    measurement.update(
+        replicas=scenario.replicas,
+        canary_weight=scenario.canary_weight,
+        canary_share=report.canary_share,
+        quota_rejected=sum(report.quota_rejected.values()),
+        misroutes=report.misroutes)
+    tenant_rows = []
+    for tenant in scenario.tenants:
+        tenant_report = report.tenants[tenant.id]
+        tenant_measurement = _serving_measurement(
+            tenant_report, tenant_report.submitted, sizes)
+        tenant_measurement["quota_rejected"] = \
+            report.quota_rejected.get(tenant.id, 0)
+        tenant_rows.append((tenant.id, tenant_measurement))
+    measurement["__tenants__"] = tenant_rows
+    return measurement
+
+
 @contextlib.contextmanager
 def _noop():
     yield
@@ -328,6 +419,7 @@ _RUNNERS = {
     "variation": _run_variation,
     "serving": _run_serving,
     "chaos": _run_serving,
+    "fleet": _run_fleet,
 }
 
 
@@ -372,8 +464,11 @@ def run_scenarios(scenarios, table: RunTable | None = None,
                     (trace_dir / f"{slug}.prom").write_text(
                         telemetry.metrics.render_prometheus(),
                         encoding="utf-8")
-                row = table.append(
-                    run_id=spec.run_id,
+                # A fleet cell carries per-tenant SLO measurements in a
+                # side channel; they become their own rows below, with
+                # the same identity cells plus the tenant column.
+                tenant_rows = measurement.pop("__tenants__", ())
+                identity = dict(
                     scenario=scenario.name,
                     kind=spec.kind,
                     engine=spec.engine,
@@ -390,10 +485,18 @@ def run_scenarios(scenarios, table: RunTable | None = None,
                               else spec.load.rate_rps),
                     repetition=spec.repetition,
                     seed=_run_seed(spec),
-                    **measurement,
                 )
+                row = table.append(run_id=spec.run_id, **identity,
+                                   **measurement)
                 if log is not None:
                     log(_render_row(row))
+                for tenant_id, tenant_measurement in tenant_rows:
+                    tenant_row = table.append(
+                        run_id=f"{spec.run_id}+{tenant_id}",
+                        tenant=tenant_id, **identity,
+                        **tenant_measurement)
+                    if log is not None:
+                        log(_render_row(tenant_row))
     return table
 
 
@@ -404,6 +507,14 @@ def run_scenario(scenario: Scenario, table: RunTable | None = None,
 
 
 def _render_row(row: dict) -> str:
+    if row["kind"] == "fleet":
+        scope = row["tenant"] or "fleet"
+        canary = ("" if row["canary_share"] is None
+                  else f"  canary {row['canary_share']:.3f}")
+        return (f"{row['run_id']:<56} {row['throughput_rps']:9.1f} rps  "
+                f"[{scope}] rejected {row['rejected']} "
+                f"(quota {row['quota_rejected']})  "
+                f"avail {row['availability']:.4f}{canary}")
     if row["kind"] == "chaos":
         return (f"{row['run_id']:<56} {row['throughput_rps']:9.1f} rps  "
                 f"avail {row['availability']:.4f}  "
@@ -565,11 +676,34 @@ def chaos_scenarios() -> list:
     ]
 
 
+def fleet_scenarios() -> list:
+    """The fleet grid: a 2-replica multi-tenant mix with a canary split.
+
+    One cell measures everything the fleet layer adds: a hot tenant
+    offered 3x the cold tenant's traffic but capped by a token-bucket
+    quota (isolation shows up as ``quota_rejected`` on the hot tenant's
+    row and a clean cold-tenant row), plus a same-weights canary
+    generation taking 25% of new sessions (``canary_share``).  Each cell
+    emits the fleet-wide aggregate row and one per-tenant SLO row
+    (``run_id`` suffixed ``+hot`` / ``+cold``).
+    """
+    fleet_load = (LoadSpec("mixed", 800.0, 400),)
+    return [
+        Scenario(name="fleet-mixed", kind="fleet", loads=fleet_load,
+                 sizes=(700, 32, 16), replicas=2, chunk_steps=8,
+                 max_batch=8, queue_limit=64, canary_weight=0.25,
+                 tenants=({"id": "hot", "share": 3.0, "quota_rps": 400.0,
+                           "burst": 16, "max_pending": 24, "sessions": 6},
+                          {"id": "cold", "share": 1.0, "sessions": 4}),
+                 seed=7),
+    ]
+
+
 def full_scenarios(rounds: int = 10,
                    worker_counts: tuple = (0, 1, 2, 4)) -> list:
     return (throughput_scenarios(rounds, worker_counts)
             + aware_scenarios(rounds) + serving_scenarios()
-            + chaos_scenarios())
+            + chaos_scenarios() + fleet_scenarios())
 
 
 PRESETS = {
@@ -578,6 +712,7 @@ PRESETS = {
     "aware": aware_scenarios,
     "serving": serving_scenarios,
     "chaos": chaos_scenarios,
+    "fleet": fleet_scenarios,
     "full": full_scenarios,
 }
 

@@ -41,11 +41,12 @@ __all__ = [
     "LoadSpec",
     "RunSpec",
     "Scenario",
+    "TenantSpec",
     "expand",
 ]
 
 KINDS = ("forward", "backward", "train_step", "inference", "variation",
-         "serving", "chaos")
+         "serving", "chaos", "fleet")
 ENGINES = ("fused", "step")
 PRECISIONS = ("float64", "float32")
 
@@ -54,8 +55,11 @@ POOLED_KINDS = ("train_step", "inference", "variation")
 
 #: Kinds that drive a ModelServer with an open-loop arrival process.
 #: ``chaos`` is serving under an injected fault schedule — same factors,
-#: same measurement columns, plus the robustness counters.
-SERVING_KINDS = ("serving", "chaos")
+#: same measurement columns, plus the robustness counters.  ``fleet``
+#: drives a multi-replica :class:`~repro.serve.fleet.Fleet` with a
+#: multi-tenant mix and additionally emits one per-tenant SLO row per
+#: cell (``run_id`` suffixed ``+<tenant>``).
+SERVING_KINDS = ("serving", "chaos", "fleet")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +104,53 @@ class LoadSpec:
             raise ExperimentError(
                 f"load {self.id!r}: requests must be >= 1, "
                 f"got {self.requests}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a ``fleet`` scenario: its traffic share and quota.
+
+    ``share`` weights the per-request tenant draw; ``quota_rps`` /
+    ``burst`` / ``max_pending`` become the tenant's
+    :class:`~repro.serve.fleet.TenantQuota` (``None`` rate = unlimited);
+    ``sessions`` is the tenant's concurrent stream count.
+    """
+
+    id: str
+    share: float = 1.0
+    quota_rps: float | None = None
+    burst: int = 8
+    max_pending: int | None = None
+    sessions: int = 4
+
+    def __post_init__(self):
+        if not self.id or any(ch in self.id for ch in ",\n +"):
+            raise ExperimentError(
+                f"tenant id {self.id!r} must be a non-empty plain slug "
+                "(no spaces, commas, or '+' — it becomes run-table cells "
+                "and run-id suffixes)")
+        if self.id.isdigit():
+            raise ExperimentError(
+                f"tenant id {self.id!r} must not be purely numeric "
+                "(the run-table tenant column is a string cell)")
+        if self.share <= 0:
+            raise ExperimentError(
+                f"tenant {self.id!r}: share must be > 0, got {self.share}")
+        if self.quota_rps is not None and self.quota_rps <= 0:
+            raise ExperimentError(
+                f"tenant {self.id!r}: quota_rps must be > 0, "
+                f"got {self.quota_rps}")
+        if self.burst < 1:
+            raise ExperimentError(
+                f"tenant {self.id!r}: burst must be >= 1, got {self.burst}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ExperimentError(
+                f"tenant {self.id!r}: max_pending must be >= 1, "
+                f"got {self.max_pending}")
+        if self.sessions < 1:
+            raise ExperimentError(
+                f"tenant {self.id!r}: sessions must be >= 1, "
+                f"got {self.sessions}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -176,6 +227,11 @@ class Scenario:
     faults: tuple = ()              # FaultRule levels (or dicts) to inject
     request_ttl_ms: float | None = None   # per-request deadline (TTL shed)
     session_ttl_s: float | None = None    # idle-session reaping horizon
+    # -- fleet knobs (kind="fleet" only) -------------------------------------
+    replicas: int = 2               # primary-generation replica count
+    tenants: tuple = ()             # TenantSpec levels (default: one tenant)
+    canary_weight: float = 0.0      # fraction of new sessions on the canary
+    canary_hardware: HardwareSpec | None = None  # canary's realization
 
     def __post_init__(self):
         coerce = _normalize_factors(self)
@@ -300,6 +356,41 @@ class Scenario:
                 raise ExperimentError(
                     f"scenario {self.name!r}: unknown fault site "
                     f"{rule.site!r}; known sites: {list(KNOWN_SITES)}")
+        if self.kind == "fleet":
+            if self.replicas < 1:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: a fleet needs >= 1 replica, "
+                    f"got {self.replicas}")
+            if not 0.0 <= self.canary_weight < 1.0:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: canary_weight must be in "
+                    f"[0, 1), got {self.canary_weight}")
+            if self.canary_hardware is not None \
+                    and self.canary_weight == 0.0:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: canary_hardware without a "
+                    "canary_weight would deploy a generation that gets "
+                    "no traffic")
+            if self.canary_hardware is not None \
+                    and "step" in self.engines:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: a hardware canary rides the "
+                    "fused engine's weight override; drop 'step' from "
+                    "engines or split the scenario")
+            tenant_ids = [tenant.id for tenant in self.tenants]
+            if len(set(tenant_ids)) != len(tenant_ids):
+                raise ExperimentError(
+                    f"scenario {self.name!r}: duplicate tenant ids "
+                    f"{tenant_ids}")
+        else:
+            if self.tenants:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: tenants are a fleet factor; "
+                    f"kind {self.kind!r} has no admission control")
+            if self.canary_weight or self.canary_hardware is not None:
+                raise ExperimentError(
+                    f"scenario {self.name!r}: canary knobs belong to "
+                    f"kind='fleet', not {self.kind!r}")
         for knob, value in (("request_ttl_ms", self.request_ttl_ms),
                             ("session_ttl_s", self.session_ttl_s)):
             if value is None:
@@ -390,6 +481,27 @@ def _normalize_factors(scenario: Scenario) -> dict:
                 f"or FaultRule, got {type(rule).__name__}")
     if scenario.kind in SERVING_KINDS and out["workloads"] == (None,):
         out["workloads"] = ("synthetic",)
+    tenants = getattr(scenario, "tenants")
+    if isinstance(tenants, (dict, TenantSpec)):
+        tenants = (tenants,)
+    out["tenants"] = tuple(
+        TenantSpec(**tenant) if isinstance(tenant, dict) else tenant
+        for tenant in tenants)
+    for tenant in out["tenants"]:
+        if not isinstance(tenant, TenantSpec):
+            raise ExperimentError(
+                f"scenario {scenario.name!r}: tenants must be dicts or "
+                f"TenantSpec, got {type(tenant).__name__}")
+    if scenario.kind == "fleet" and not out["tenants"]:
+        out["tenants"] = (TenantSpec("t0"),)
+    canary_hw = getattr(scenario, "canary_hardware")
+    if isinstance(canary_hw, dict):
+        canary_hw = HardwareSpec(**canary_hw)
+    if canary_hw is not None and not isinstance(canary_hw, HardwareSpec):
+        raise ExperimentError(
+            f"scenario {scenario.name!r}: canary_hardware must be None, "
+            f"a dict, or HardwareSpec, got {type(canary_hw).__name__}")
+    out["canary_hardware"] = canary_hw
     return out
 
 

@@ -25,7 +25,13 @@ The pieces, bottom-up:
   server cold-starts from;
 * :mod:`repro.serve.loadgen` — a synthetic open-loop arrival process and
   latency/throughput accounting (``benchmarks/bench_serving.py`` /
-  ``make bench-serving``).
+  ``make bench-serving``), plus the multi-tenant mix
+  (:func:`open_loop_fleet`) that measures a fleet;
+* :mod:`repro.serve.fleet` — the :class:`Fleet` front door: N
+  ``ModelServer`` replicas, session-sticky least-loaded routing,
+  per-tenant token-bucket quotas (:class:`TenantQuota`), and weighted
+  canary rollout between registry generations with generation-fenced
+  drains (``docs/fleet.md``).
 
 The server can also put the paper's *hardware* in the loop
 (``hardware=`` / ``from_registry(..., hardware_profile=...)``): ticks
@@ -40,7 +46,14 @@ and measured numbers.
 """
 
 from .batcher import MicroBatcher, StreamRequest, Ticket
-from .loadgen import ServingReport, open_loop
+from .fleet import Fleet, TenantQuota
+from .loadgen import (
+    FleetReport,
+    ServingReport,
+    TenantLoad,
+    open_loop,
+    open_loop_fleet,
+)
 from .registry import ModelRegistry
 from .server import ModelServer
 from .session import Session
@@ -55,14 +68,19 @@ from .workloads import (
 )
 
 __all__ = [
+    "Fleet",
+    "FleetReport",
     "MicroBatcher",
     "ModelRegistry",
     "ModelServer",
     "ServingReport",
     "Session",
     "StreamRequest",
+    "TenantLoad",
+    "TenantQuota",
     "Ticket",
     "open_loop",
+    "open_loop_fleet",
     "Workload",
     "SyntheticWorkload",
     "SpeechWorkload",

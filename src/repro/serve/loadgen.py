@@ -17,6 +17,14 @@ sleep time and scheduler jitter from the measurement.
 The resulting :class:`ServingReport` carries the acceptance metrics of
 the serving layer: ``throughput_rps`` and p50/p95/p99 latency
 (``make bench-serving`` -> ``BENCH_serving.json``).
+
+:func:`open_loop_fleet` is the multi-tenant variant: one Poisson
+arrival process whose requests are split across named tenants
+(:class:`TenantLoad` shares), driving a
+:class:`~repro.serve.fleet.Fleet` through its per-tenant admission
+control.  The :class:`FleetReport` carries the aggregate
+:class:`ServingReport` plus one per tenant — the per-tenant SLO rows
+the ``fleet`` scenario kind lands in ``run_table.csv``.
 """
 
 from __future__ import annotations
@@ -32,7 +40,8 @@ from ..common import faults as _faults
 from ..common.errors import CapacityError, ShapeError, StateError
 from ..common.rng import RandomState, as_random_state
 
-__all__ = ["ServingReport", "open_loop"]
+__all__ = ["FleetReport", "ServingReport", "TenantLoad", "open_loop",
+           "open_loop_fleet"]
 
 
 @dataclasses.dataclass
@@ -366,3 +375,318 @@ def open_loop(server, *, sessions: int = 16, requests: int = 200,
         tick_compute_p95_ms=tick_compute.percentile(
             95, start=tick_compute_start),
         pool_stats=None if pool is None else pool.stats)
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's slice of a fleet load mix.
+
+    ``share`` weights the per-request tenant draw (shares are
+    normalized, so ``(3, 1)`` means a 75/25 split); ``sessions`` is the
+    tenant's concurrent stream count; ``quota`` (a
+    :class:`~repro.serve.fleet.TenantQuota`) is installed on the fleet
+    before the run when given.
+    """
+
+    tenant: str
+    share: float = 1.0
+    sessions: int = 4
+    quota: object = None  # a repro.serve.fleet.TenantQuota, or None
+
+    def __post_init__(self):
+        if self.share <= 0:
+            raise ValueError(
+                f"tenant {self.tenant!r} share must be > 0, "
+                f"got {self.share}")
+        if self.sessions < 1:
+            raise ValueError(
+                f"tenant {self.tenant!r} needs >= 1 session, "
+                f"got {self.sessions}")
+
+
+@dataclasses.dataclass
+class FleetReport:
+    """One multi-tenant open-loop run: fleet-wide plus per-tenant books."""
+
+    aggregate: ServingReport
+    #: Per-tenant :class:`ServingReport` (offered rate = the tenant's
+    #: share of the mix; ``ticks`` is fleet-wide, so ``mean_batch`` is
+    #: the tenant's share of each tick).
+    tenants: dict
+    replicas: int
+    live_replicas: int
+    replicas_down: int
+    misroutes: int
+    canary_weight: float
+    #: Fraction of completed chunks served by the canary generation
+    #: (``None`` when no canary was in flight).
+    canary_share: float | None
+    #: Per-tenant admission-control rejections (token bucket +
+    #: in-flight bound) — the quota slice of each tenant's ``rejected``.
+    quota_rejected: dict
+
+    def to_dict(self) -> dict:
+        view = dataclasses.asdict(self)
+        view["aggregate"] = self.aggregate.to_dict()
+        view["tenants"] = {name: report.to_dict()
+                           for name, report in self.tenants.items()}
+        return view
+
+    def render(self) -> str:
+        lines = [f"fleet    {self.aggregate.render()}"]
+        for name in sorted(self.tenants):
+            lines.append(f"{name:8s} {self.tenants[name].render()}")
+        return "\n".join(lines)
+
+
+def open_loop_fleet(fleet, *, tenants=None, requests: int = 400,
+                    chunk_steps: int = 8, rate_rps: float = 300.0,
+                    spike_density: float = 0.03,
+                    rng: RandomState | int | None = 0,
+                    workload=None, timer=time.perf_counter,
+                    export_dir=None) -> FleetReport:
+    """Drive a :class:`~repro.serve.fleet.Fleet` with a mixed
+    multi-tenant Poisson arrival process.
+
+    One open-loop schedule at ``rate_rps`` is drawn exactly as in
+    :func:`open_loop`; each arrival is then assigned a tenant by a
+    seeded draw weighted by the :class:`TenantLoad` shares and
+    round-robined over that tenant's sessions.  Tenant quotas (when a
+    ``TenantLoad.quota`` is given) are installed before any traffic, so
+    the run measures the fleet's admission control, not just its
+    queues: a tenant's ``CapacityError``\\ s count against *that
+    tenant's* report only.
+
+    A session that dies with its replica (``StateError`` on submit)
+    reconnects through :meth:`~repro.serve.fleet.Fleet.open_session` —
+    landing on a live replica — and resubmits once; if the whole fleet
+    is down the chunk counts as rejected.  At drain the fleet-wide
+    accounting tripwire :meth:`~repro.serve.fleet.Fleet.check_invariants`
+    runs, like :func:`open_loop` does for a bare server.
+
+    ``export_dir`` writes ``fleet.prom`` (the fleet registry snapshot)
+    and, when a telemetry bundle is attached, ``fleet.trace.jsonl``.
+    """
+    rng = as_random_state(rng)
+    if tenants is None:
+        tenants = (TenantLoad("t0"),)
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("open_loop_fleet needs at least one TenantLoad")
+    names = [t.tenant for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant ids in load mix: {names}")
+    for load in tenants:
+        if load.quota is not None:
+            fleet.set_quota(load.tenant, load.quota)
+    n_in = fleet.network.sizes[0]
+    if workload is not None:
+        from .workloads import make_workload
+
+        workload = make_workload(workload, channels=None)
+        if workload.channels != n_in:
+            raise ShapeError(
+                f"workload {workload.name!r} emits {workload.channels} "
+                f"channels but the served network expects {n_in}")
+    session_ids = {
+        load.tenant: [fleet.open_session(load.tenant, now=0.0)
+                      for _ in range(load.sessions)]
+        for load in tenants
+    }
+    gaps = -np.log(np.clip(rng.random(requests), 1e-12, None)) / rate_rps
+    arrivals = np.cumsum(gaps)
+    shares = np.asarray([load.share for load in tenants], dtype=np.float64)
+    edges = np.cumsum(shares / shares.sum())
+    owners = np.searchsorted(edges, rng.random(requests), side="right")
+    owners = np.minimum(owners, len(tenants) - 1)
+    if workload is None:
+        chunks = [
+            (rng.random((chunk_steps, n_in))
+             < spike_density).astype(np.float64)
+            for _ in range(requests)
+        ]
+    else:
+        chunks = [workload.sample(chunk_steps, rng)
+                  for _ in range(requests)]
+
+    class _Books:
+        __slots__ = ("outstanding", "latencies", "retried", "rejected",
+                     "expired", "failed", "steps", "cursor")
+
+        def __init__(self):
+            self.outstanding: list = []
+            self.latencies: list[float] = []
+            self.retried: list[float] = []
+            self.rejected = 0
+            self.expired = 0
+            self.failed = 0
+            self.steps = 0
+            self.cursor = 0
+
+    books = {load.tenant: _Books() for load in tenants}
+    ticks = 0
+    now = 0.0
+    index = 0
+    plan = _faults.active_plan()
+    injected_before = sum(plan.injected.values()) if plan else 0
+    quota_before = {name: tenant["rejected_quota"]
+                    for name, tenant in fleet.stats["per_tenant"].items()}
+    canary_before = {name: tenant["completed_canary"]
+                     for name, tenant in fleet.stats["per_tenant"].items()}
+    canary_active = fleet.canary_generation is not None
+    # Window the per-replica queue-wait histograms (and a fleet-level
+    # tick-compute histogram) to this run, as open_loop does for one
+    # server's.
+    queue_window = fleet._queue_wait_window()
+    tick_compute = fleet.metrics.histogram(
+        "serve.tick_compute_ms",
+        help="measured wall-clock compute per completed tick (ms)")
+    tick_compute_start = tick_compute.count
+
+    def settle(after: float, completed: int) -> None:
+        for book in books.values():
+            still = []
+            for ticket in book.outstanding:
+                if not ticket.done:
+                    still.append(ticket)
+                elif ticket.ok:
+                    if completed:
+                        ticket.completed_at = after
+                    book.latencies.append(ticket.latency)
+                    if ticket.retried:
+                        book.retried.append(ticket.latency)
+                    book.steps += ticket.outputs.shape[0]
+                elif ticket.expired:
+                    book.expired += 1
+                else:
+                    book.failed += 1
+            book.outstanding[:] = still
+
+    def run_tick(at: float) -> float:
+        nonlocal ticks
+        start = timer()
+        completed = fleet.poll(now=at)
+        elapsed = timer() - start
+        after = at + elapsed
+        if completed:
+            ticks += 1
+            tick_compute.observe(elapsed * 1e3)
+        settle(after, completed)
+        return after
+
+    def admit(position: int) -> None:
+        arrival = float(arrivals[position])
+        load = tenants[int(owners[position])]
+        book = books[load.tenant]
+        ids = session_ids[load.tenant]
+        slot = book.cursor % len(ids)
+        book.cursor += 1
+        try:
+            book.outstanding.append(
+                fleet.submit(ids[slot], chunks[position], now=arrival))
+        except CapacityError:
+            book.rejected += 1
+        except StateError:
+            # The session's replica died (or the stream was reaped): a
+            # real client reconnects, landing on a live replica — the
+            # fleet's re-route path.
+            try:
+                ids[slot] = fleet.open_session(load.tenant, now=arrival)
+            except StateError:
+                # No live replica at all: the connect itself is refused.
+                book.rejected += 1
+                return
+            try:
+                book.outstanding.append(
+                    fleet.submit(ids[slot], chunks[position], now=arrival))
+            except CapacityError:
+                book.rejected += 1
+
+    def draining() -> bool:
+        return any(book.outstanding for book in books.values())
+
+    while index < requests or draining():
+        while index < requests and arrivals[index] <= now:
+            admit(index)
+            index += 1
+        if fleet.ready(now=now):
+            now = run_tick(now)
+            continue
+        next_arrival = arrivals[index] if index < requests else math.inf
+        deadline = fleet.next_deadline()
+        deadline = math.inf if deadline is None else deadline
+        event = min(next_arrival, deadline)
+        if math.isinf(event):
+            if draining():
+                now = run_tick(now)
+                if draining():
+                    break
+                continue
+            break
+        now = max(now, event)
+
+    duration = max(now, float(arrivals[-1]) if requests else 0.0)
+    divergence = fleet.mean_divergence() if fleet.shadow else None
+    injected = (sum(plan.injected.values()) - injected_before if plan
+                else 0)
+    fleet.check_invariants()
+    if export_dir is not None:
+        export_dir = Path(export_dir)
+        export_dir.mkdir(parents=True, exist_ok=True)
+        (export_dir / "fleet.prom").write_text(
+            fleet.metrics.render_prometheus(), encoding="utf-8")
+        if fleet.telemetry is not None:
+            fleet.telemetry.tracer.write_jsonl(
+                export_dir / "fleet.trace.jsonl")
+
+    queue_samples = [sample for histogram, start in queue_window
+                     for sample in histogram.samples[start:]]
+    queue_wait_p95 = (float(np.percentile(np.asarray(queue_samples), 95))
+                      if queue_samples else None)
+    tick_compute_p95 = tick_compute.percentile(95, start=tick_compute_start)
+    share_total = float(shares.sum())
+    per_tenant = {}
+    for load in tenants:
+        book = books[load.tenant]
+        per_tenant[load.tenant] = ServingReport.from_run(
+            rate_rps * load.share / share_total, duration,
+            book.latencies, book.rejected, ticks, book.steps,
+            expired=book.expired, failed=book.failed,
+            retried_latencies_s=book.retried)
+    aggregate = ServingReport.from_run(
+        rate_rps, duration,
+        [lat for book in books.values() for lat in book.latencies],
+        sum(book.rejected for book in books.values()), ticks,
+        sum(book.steps for book in books.values()),
+        divergence=divergence,
+        expired=sum(book.expired for book in books.values()),
+        failed=sum(book.failed for book in books.values()),
+        retried_latencies_s=[lat for book in books.values()
+                             for lat in book.retried],
+        faults_injected=injected,
+        queue_wait_p95_ms=queue_wait_p95,
+        tick_compute_p95_ms=tick_compute_p95)
+    after_tenants = fleet.stats["per_tenant"]
+    quota_rejected = {
+        name: after_tenants[name]["rejected_quota"]
+        - quota_before.get(name, 0)
+        for name in after_tenants
+    }
+    canary_completed = sum(
+        after_tenants[name]["completed_canary"]
+        - canary_before.get(name, 0)
+        for name in after_tenants)
+    canary_share = None
+    if canary_active and aggregate.completed:
+        canary_share = round(canary_completed / aggregate.completed, 6)
+    return FleetReport(
+        aggregate=aggregate,
+        tenants=per_tenant,
+        replicas=fleet.replicas,
+        live_replicas=fleet.live_replicas,
+        replicas_down=int(fleet.stats["replicas_down"]),
+        misroutes=int(fleet.stats["misroutes"]),
+        canary_weight=float(fleet.canary_weight),
+        canary_share=canary_share,
+        quota_rejected=quota_rejected,
+    )

@@ -50,6 +50,7 @@ sessions are **reaped** after ``session_ttl_s``.
 
 from __future__ import annotations
 
+import functools
 import time
 
 import numpy as np
@@ -141,6 +142,15 @@ class ModelServer:
         ever failing the primary.
     clock:
         0-arg callable returning seconds; default ``time.monotonic``.
+    instance:
+        Optional replica label (e.g. ``"r0"``).  When several servers
+        share one metrics registry — the fleet
+        (:class:`~repro.serve.fleet.Fleet`) binds all replicas to the
+        run's bundle — each server's ``serve.*`` instruments must stay
+        distinct or their books merge; the label becomes a
+        ``replica=...`` instrument label and a ``replica`` attr on
+        every trace record this server emits.  ``None`` (default)
+        keeps the unlabelled single-server names.
     telemetry:
         Optional :class:`~repro.obs.Telemetry` bundle.  Defaults to the
         process-installed bundle (:func:`repro.obs.active_telemetry`) at
@@ -159,6 +169,7 @@ class ModelServer:
                  request_ttl_ms: float | None = None,
                  session_ttl_s: float | None = None,
                  shadow_threshold: int = 3, clock=time.monotonic,
+                 instance: str | None = None,
                  telemetry: _obs.Telemetry | None = None):
         if engine not in ("fused", "step"):
             raise ValueError(f"engine must be 'fused' or 'step', got {engine!r}")
@@ -207,6 +218,7 @@ class ModelServer:
         self._sessions: dict[str, Session] = {}
         self._session_seq = 0
         self._request_seq = 0
+        self.instance = instance
         self.telemetry = (telemetry if telemetry is not None
                           else _obs.active_telemetry())
         self.metrics = (self.telemetry.metrics
@@ -214,30 +226,44 @@ class ModelServer:
                         else _obs.MetricsRegistry())
         # Bind the trace hooks once: with telemetry these are the
         # tracer's own methods (no per-call indirection on the hot
-        # lifecycle-event path), without they are shared no-ops.
+        # lifecycle-event path), without they are shared no-ops.  A
+        # labelled replica stamps every record with its label so one
+        # fleet trace stays attributable per replica (local session ids
+        # and request seqs repeat across replicas).
         if self.telemetry is not None:
-            self._event = self.telemetry.tracer.event
-            self._span = self.telemetry.tracer.span
+            tracer = self.telemetry.tracer
+            if instance is None:
+                self._event = tracer.event
+                self._span = tracer.span
+            else:
+                self._event = functools.partial(tracer.event,
+                                                replica=instance)
+                self._span = functools.partial(tracer.span,
+                                               replica=instance)
             self._trace_clock = self.telemetry.clock
         else:
             self._event = self._noop_event
             self._span = self._noop_span
             self._trace_clock = None
+        labels = {} if instance is None else {"replica": instance}
         self._counters = {
-            key: self.metrics.counter(f"serve.{key}", help=help_text)
+            key: self.metrics.counter(f"serve.{key}", help=help_text,
+                                      **labels)
             for key, help_text in _SERVE_COUNTERS
         }
         self._divergence_sum = self.metrics.counter(
             "serve.divergence_sum",
-            help="summed per-chunk shadow output divergence")
+            help="summed per-chunk shadow output divergence", **labels)
         self._max_tick_batch = self.metrics.gauge(
-            "serve.max_tick_batch", help="largest batch any tick served")
+            "serve.max_tick_batch", help="largest batch any tick served",
+            **labels)
         # Queue wait is virtual time (tick `now` minus request arrival) —
         # pure arithmetic on injected clocks, so it is always metered and
         # stays deterministic under the harness fake timer.
         self._queue_wait = self.metrics.histogram(
             "serve.queue_wait_ms",
-            help="per-chunk wait between submit and its serving tick (ms)")
+            help="per-chunk wait between submit and its serving tick (ms)",
+            **labels)
 
     @classmethod
     def from_registry(cls, registry, name: str, version: str | None = None,
@@ -462,6 +488,28 @@ class ModelServer:
         while self.batcher.pending:
             completed += self._run_tick(self.clock() if now is None else now)
         return completed
+
+    def fail_pending(self, reason: str, now: float | None = None) -> int:
+        """Fail every queued chunk with ``reason`` (tickets resolve
+        ``failed``; no stream state advances); returns the count.
+
+        The clean-death path: a deployment being torn down — or a fleet
+        replica killed by the ``fleet.replica.down`` fault site — must
+        resolve its queue rather than strand tickets pending forever,
+        and the failures must land in the books so
+        :meth:`check_invariants` still balances.
+        """
+        now = self.clock() if now is None else now
+        failed = 0
+        while self.batcher.pending:
+            for request in self.batcher.collect():
+                request.ticket.fail(reason, now)
+                self._counters["failed"].inc()
+                self._event("ticket.failed", request=request.seq,
+                            session=request.session.session_id,
+                            error=reason)
+                failed += 1
+        return failed
 
     def infer(self, session_id: str, chunk: np.ndarray,
               now: float | None = None) -> np.ndarray:

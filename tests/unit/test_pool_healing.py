@@ -157,7 +157,9 @@ class TestWorkerErrorStaysFailFast:
         serial = run_in_batches(net, x, batch_size=16)
         bad = np.zeros((8, 20, x.shape[2] + 2))
         with WorkerPool(net, workers=2) as pool:
-            with pytest.raises(WorkerError, match="worker 0 raised"):
+            # Both workers get a shard of the bad input; which one's
+            # error surfaces first is a race, so match either.
+            with pytest.raises(WorkerError, match=r"worker \d+ raised"):
                 pool.run_sharded(bad, batch_size=4)
             assert pool.stats["restarts"] == 0
             np.testing.assert_array_equal(

@@ -252,3 +252,66 @@ class TestShadowBreaker:
         assert server.stats["shadow_failures"] == 1
         assert not server.shadow_disabled
         assert server.stats["shadow_chunks"] == 1
+
+
+class TestFleetReplicaKill:
+    """The fleet rung of the degradation ladder (docs/fleet.md): losing
+    a replica mid-load degrades availability bounded, never silently —
+    its sessions fail with a reconnect hint, re-routed sessions land on
+    survivors, and the fleet-wide books stay conserved."""
+
+    def _fleet(self, **kwargs):
+        from repro.serve import Fleet
+
+        kwargs.setdefault("engine", "step")
+        kwargs.setdefault("max_batch", 8)
+        kwargs.setdefault("max_wait_ms", 0.5)
+        kwargs.setdefault("queue_limit", 64)
+        return Fleet(make_net(), replicas=2, seed=9, **kwargs)
+
+    def test_kill_mid_load_holds_the_availability_floor(self):
+        from repro.serve.loadgen import TenantLoad, open_loop_fleet
+
+        plan = FaultPlan(
+            (FaultRule("fleet.replica.down", probability=1.0,
+                       where={"replica": 0}, times=1),),
+            seed=7)
+        fleet = self._fleet()
+        try:
+            with faults.active(plan):
+                # open_loop_fleet reconnects StateError'd sessions via
+                # the router and runs fleet.check_invariants() at
+                # drain: a lost ticket raises out of this call.
+                report = open_loop_fleet(
+                    fleet, tenants=(TenantLoad("t0", sessions=6),),
+                    requests=200, rate_rps=500.0, chunk_steps=6, rng=9)
+            stats = fleet.stats
+        finally:
+            fleet.close()
+        assert report.replicas_down == 1
+        assert report.live_replicas == 1
+        assert stats["lost_sessions"] >= 1          # re-routed sessions
+        aggregate = report.aggregate
+        assert aggregate.availability >= 0.95
+        assert aggregate.completed > 0              # survivor kept serving
+        resolved = (aggregate.completed + aggregate.rejected
+                    + aggregate.requests_failed
+                    + aggregate.requests_expired)
+        assert resolved == aggregate.submitted      # no lost tickets
+
+    def test_whole_fleet_down_fails_cleanly(self):
+        plan = FaultPlan(
+            (FaultRule("fleet.replica.down", probability=1.0),),
+            seed=7)
+        fleet = self._fleet()
+        try:
+            sid = fleet.open_session("t0", now=0.0)
+            fleet.submit(sid, make_chunk(), now=0.0)
+            with faults.active(plan):
+                fleet.poll(now=0.1)    # housekeeping kills both replicas
+            assert fleet.live_replicas == 0
+            with pytest.raises(StateError, match="no live replica"):
+                fleet.open_session("t0", now=0.2)
+            fleet.check_invariants()   # books survive total loss
+        finally:
+            fleet.close()

@@ -16,6 +16,13 @@ deterministic gates over the fault-injection plane
    (completed + failed + expired + rejected == requests), and report
    zero *unrecovered* errors: every failed request must trace back to
    an injected fault (``requests_failed <= faults_injected``).
+3. **Fleet replica-kill gate** — a 2-replica
+   :class:`~repro.serve.Fleet` loses replica 0 mid-load
+   (``fleet.replica.down``); its sessions must re-route to the
+   survivor or fail cleanly, fleet-wide availability must hold the
+   same ``>= 0.95`` floor, and the fleet's own accounting tripwire
+   (:meth:`~repro.serve.Fleet.check_invariants`, run at drain by the
+   load generator) must pass over the degraded fleet.
 
 The chaos run table is written to ``--table`` (default
 ``run_table.csv``) so CI can upload it as the regression artifact.
@@ -115,6 +122,67 @@ def pool_gate() -> list[str]:
     return errors
 
 
+def fleet_gate() -> list[str]:
+    """Replica kill mid-load: re-route or fail cleanly, floor holds."""
+    from repro.core import SpikingNetwork
+    from repro.serve import Fleet
+    from repro.serve.loadgen import TenantLoad, open_loop_fleet
+
+    net = SpikingNetwork((24, 20, 12), rng=1)
+    for layer in net.layers:
+        layer.weight *= 5.0
+    #: Replica 0 dies on its first housekeeping visit once traffic is
+    #: flowing; ``times=1`` keeps the survivor alive so re-routed
+    #: sessions land somewhere.
+    plan = faults.FaultPlan(
+        (faults.FaultRule("fleet.replica.down", probability=1.0,
+                          where={"replica": 0}, times=1),),
+        seed=7)
+    fleet = Fleet(net, replicas=2, engine="step", max_batch=8,
+                  max_wait_ms=0.5, queue_limit=64, seed=9)
+    try:
+        with faults.active(plan):
+            # open_loop_fleet reconnects StateError'd sessions through
+            # the router and runs fleet.check_invariants() at drain —
+            # an accounting hole in the degraded fleet raises here.
+            report = open_loop_fleet(
+                fleet,
+                tenants=(TenantLoad("t0", sessions=6),),
+                requests=300, rate_rps=600.0, chunk_steps=6, rng=9)
+        stats = fleet.stats
+    finally:
+        fleet.close()
+
+    errors = []
+    aggregate = report.aggregate
+    if report.replicas_down != 1:
+        errors.append(f"expected exactly one replica kill, counted "
+                      f"{report.replicas_down}")
+    if report.live_replicas != 1:
+        errors.append(f"expected one surviving replica, fleet reports "
+                      f"{report.live_replicas} live")
+    if aggregate.availability is None \
+            or aggregate.availability < AVAILABILITY_FLOOR:
+        errors.append(f"fleet availability {aggregate.availability} "
+                      f"< {AVAILABILITY_FLOOR} after a replica kill")
+    if aggregate.completed == 0:
+        errors.append("no requests completed on the surviving replica")
+    resolved = (aggregate.completed + aggregate.rejected
+                + aggregate.requests_failed + aggregate.requests_expired)
+    if resolved != aggregate.submitted:
+        errors.append(
+            f"lost tickets after the kill — completed "
+            f"{aggregate.completed} + rejected {aggregate.rejected} + "
+            f"failed {aggregate.requests_failed} + expired "
+            f"{aggregate.requests_expired} != submitted "
+            f"{aggregate.submitted}")
+    print(f"fleet gate: replicas_down={report.replicas_down} "
+          f"lost_sessions={stats['lost_sessions']} "
+          f"availability={aggregate.availability:.4f} "
+          f"{'ok' if not errors else 'FAIL'}")
+    return errors
+
+
 def serving_gate(table_path: str) -> list[str]:
     """Availability / accounting floors over the chaos preset."""
     from repro.experiments.harness import chaos_scenarios, run_scenarios
@@ -158,6 +226,7 @@ def main(argv=None) -> int:
                         help="chaos run-table CSV output path")
     args = parser.parse_args(argv)
     errors = pool_gate()
+    errors += fleet_gate()
     errors += serving_gate(args.table)
     if errors:
         print(f"\nchaos-smoke: {len(errors)} gate failure(s)")
