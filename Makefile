@@ -5,11 +5,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke obs-smoke fleet-smoke docs quickstart serve-demo
+.PHONY: test lint lint-baseline bench bench-json bench-serving bench-aware bench-table bench-smoke bench-paper chaos-smoke obs-smoke fleet-smoke docs quickstart serve-demo
 
 ## tier-1 verify: the full unit/property/integration suite
 test:
 	$(PYTHON) -m pytest -x -q
+
+## project linter (docs/static_analysis.md): planted-violation
+## self-check, then the tree against tools/lint_baseline.json
+lint:
+	$(PYTHON) tools/lint_smoke.py
+
+## regenerate the lint baseline deterministically (stable sort,
+## repo-relative paths); review the diff before committing it
+lint-baseline:
+	$(PYTHON) -m repro.analysis --write-baseline
 
 ## core-kernel throughput microbenchmarks (fused vs reference engines)
 bench:

@@ -1,0 +1,12 @@
+"""``python -m repro.analysis`` — run the project linter.
+
+Thin shim over :mod:`repro.analysis.lint.cli`; the lint package itself
+is stdlib-only (importing the :mod:`repro` namespace does pull numpy —
+use ``tools/lint_smoke.py`` for a truly dependency-free invocation).
+"""
+
+import sys
+
+from .lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,54 @@
+"""Project-aware static analysis for this repository.
+
+The linter enforces, at parse time, the invariants the rest of the repo
+only checks at run time: seeded determinism (``RandomState.child``
+streams and injectable timers are the only sanctioned sources of
+nondeterminism), the fixed fault-site catalog
+(``repro.common.faults.KNOWN_SITES``), the ``repro.obs`` instrument
+namespace (catalogued in ``docs/observability.md``), the layer DAG
+(``common <- obs <- core <- {autograd, data, hardware, analysis} <-
+runtime <- serve <- experiments``), disciplined concurrency patterns,
+and the fixed run-table schema (``repro.common.runtable``).
+
+Two phases (see :mod:`repro.analysis.lint.facts`):
+
+1. **facts** — every file is parsed once into cross-file *project
+   facts*: the import graph, every fault-site string, every instrument
+   registration and trace-event emission, every RNG / wall-clock call
+   site, lock-usage patterns, run-table column references, and the
+   catalogs those facts are checked against.
+2. **rules** — each rule (:mod:`repro.analysis.lint.rules`) is a pure
+   function over the facts; it never re-reads source.
+
+The engine is **self-hosting** (it lints itself — this package is
+scanned like any other), **zero-dependency** (stdlib only; it must not
+import numpy so it can run before the scientific stack exists), and
+deterministic (stable finding order, no timestamps).
+
+Entry points: ``python -m repro.analysis`` (CLI), ``make lint`` /
+``make lint-baseline``, ``tools/lint_smoke.py`` (the CI gate), and
+:func:`repro.analysis.lint.engine.run_lint` for programmatic use.
+Workflow documentation lives in ``docs/static_analysis.md``.
+"""
+
+from .engine import (
+    LintResult,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .facts import LintConfig, ProjectFacts, build_facts
+from .rules import RULES, Finding, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ProjectFacts",
+    "RULES",
+    "Rule",
+    "build_facts",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

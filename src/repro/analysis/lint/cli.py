@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m repro.analysis [...]``.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage /
+internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import (
+    load_baseline,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+from .rules import RULES
+
+__all__ = ["main"]
+
+#: cli.py -> lint -> analysis -> repro -> src -> repository root.
+DEFAULT_ROOT = Path(__file__).resolve().parents[4]
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-aware static analysis for this repository "
+                    "(see docs/static_analysis.md).")
+    parser.add_argument("--root", default=str(DEFAULT_ROOT),
+                        help="repository root to scan "
+                             "(default: auto-detected)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE} under --root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report grandfathered findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list suppressed findings (text mode)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id:16s} [{rule.severity}] {rule.summary}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.exists():
+        print(f"error: root {root} does not exist", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / DEFAULT_BASELINE
+
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = load_baseline(baseline_path) or None
+
+    result = run_lint(root=root, baseline=baseline)
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, result)
+        print(f"wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    output = render_json(result) if args.fmt == "json" \
+        else render_text(result, verbose=args.verbose)
+    sys.stdout.write(output)
+    return 0 if result.clean and not result.stale_baseline else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Run rules, apply suppressions + baseline, render results.
+
+Pipeline: :func:`~repro.analysis.lint.facts.build_facts` (phase 1) ->
+:func:`~repro.analysis.lint.rules.run_rules` (phase 2) -> drop inline
+``# repro: disable=`` suppressions -> drop baselined findings ->
+deterministic text/JSON rendering.  Baselines match on ``(rule, path,
+message)`` — never on line numbers, which shift under every edit — and
+are written sorted so regeneration is byte-stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .facts import LintConfig, ProjectFacts, build_facts
+from .rules import RULES, Finding, run_rules
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintResult",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]
+
+JSON_SCHEMA_VERSION = 1
+TOOL_NAME = "repro.analysis.lint"
+
+
+@dataclasses.dataclass
+class LintResult:
+    facts: ProjectFacts
+    findings: list            # reported (post-suppression, post-baseline)
+    suppressed: list
+    baselined: list
+    stale_baseline: list      # baseline entries no longer produced
+
+    @property
+    def raw_count(self) -> int:
+        return (len(self.findings) + len(self.suppressed)
+                + len(self.baselined))
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _parse_error_findings(facts: ProjectFacts) -> list:
+    out = []
+    for path in sorted(facts.modules):
+        mod = facts.modules[path]
+        if mod.parse_error:
+            out.append(Finding(
+                rule="parse-error", severity="error", path=path,
+                line=1, col=0,
+                message=f"file does not parse: {mod.parse_error}",
+                hint="the linter (and the interpreter) need valid "
+                     "syntax"))
+    return out
+
+
+def run_lint(root=None, sources: dict | None = None,
+             config: LintConfig | None = None,
+             baseline: set | None = None) -> LintResult:
+    """Lint a tree (or in-memory ``sources``) end to end.
+
+    ``baseline`` is a set of ``(rule, path, message)`` keys from
+    :func:`load_baseline`; ``None`` means no baseline filtering.
+    """
+    facts = build_facts(root=root, sources=sources, config=config)
+    raw = _parse_error_findings(facts) + run_rules(facts)
+    raw.sort(key=lambda f: f.sort_key)
+
+    reported: list = []
+    suppressed: list = []
+    baselined: list = []
+    matched_keys: set = set()
+    for finding in raw:
+        mod = facts.modules.get(finding.path)
+        if mod is not None and mod.suppressed(finding.line, finding.rule):
+            suppressed.append(finding)
+        elif baseline and finding.baseline_key in baseline:
+            baselined.append(finding)
+            matched_keys.add(finding.baseline_key)
+        else:
+            reported.append(finding)
+
+    stale = sorted(baseline - matched_keys) if baseline else []
+    return LintResult(facts=facts, findings=reported,
+                      suppressed=suppressed, baselined=baselined,
+                      stale_baseline=stale)
+
+
+# ---------------------------------------------------------------------------
+# Baseline file
+# ---------------------------------------------------------------------------
+
+def load_baseline(path) -> set:
+    """Read a baseline file into a set of ``(rule, path, message)``
+    keys.  A missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", payload) \
+        if isinstance(payload, dict) else payload
+    keys = set()
+    for entry in entries:
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path, result: LintResult) -> int:
+    """Grandfather every currently-reported finding.  Returns the entry
+    count.  Output is sorted and newline-terminated so regeneration is
+    deterministic."""
+    entries = sorted({f.baseline_key for f in result.findings})
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines = []
+    for f in result.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} "
+                     f"[{f.severity}] {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    for key in result.stale_baseline:
+        lines.append(f"stale baseline entry (fixed? run `make "
+                     f"lint-baseline`): {key[1]}: {key[0]}: {key[2]}")
+    lines.append(
+        f"{len(result.facts.modules)} files, {result.raw_count} raw "
+        f"finding(s): {len(result.findings)} reported, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined")
+    if verbose and result.suppressed:
+        for f in result.suppressed:
+            lines.append(f"suppressed: {f.path}:{f.line}: {f.rule}: "
+                         f"{f.message}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "root": result.facts.root,
+        "files": len(result.facts.modules),
+        "rules": [rule.id for rule in RULES],
+        "counts": {
+            "raw": result.raw_count,
+            "reported": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

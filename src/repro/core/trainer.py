@@ -45,8 +45,6 @@ import numpy as np
 from ..common.config import BaseConfig
 from ..common.errors import ShapeError
 from ..common.rng import RandomState, as_random_state
-from ..runtime.parallel import data_parallel_grads, shard_grads
-from ..runtime.workspace import Workspace
 from .engine import resolve_precision
 from .network import SpikingNetwork
 from .optim import clip_grad_norm, make_optimizer
@@ -212,6 +210,10 @@ class Trainer:
             config.optimizer, network.weights, lr=config.learning_rate, **extra
         )
         self.history: list[EpochStats] = []
+        # core must not pull the runtime layer at import time (the pool
+        # workers themselves import core); runtime pieces load on use.
+        from ..runtime.workspace import Workspace
+
         self._workspace = Workspace()
         self._pool = None
         # Hardware-aware training: the per-step programming-noise stream
@@ -295,6 +297,8 @@ class Trainer:
         while the optimizer updates the master weights — the
         straight-through estimator.
         """
+        from ..runtime.parallel import data_parallel_grads, shard_grads
+
         cfg = self.config
         override = self.hardware_weights()
         if cfg.workers >= 1:
@@ -387,16 +391,18 @@ class Trainer:
     def fit(self, train_inputs: np.ndarray, train_targets: np.ndarray,
             test_inputs: np.ndarray | None = None,
             test_targets: np.ndarray | None = None,
-            verbose: bool = False) -> list[EpochStats]:
+            verbose: bool = False,
+            timer=time.perf_counter) -> list[EpochStats]:
         """Run the configured number of epochs; returns per-epoch stats.
 
         ``train_metrics`` are populated only when ``config.eval_train`` is
         set — the extra full-train-set forward pass roughly doubles epoch
         cost on large sets; ``train_loss`` (the running mean of the batch
-        losses) is always recorded.
+        losses) is always recorded.  ``timer`` stamps ``seconds`` on each
+        epoch and is injectable for deterministic tests.
         """
         for epoch in range(1, self.config.epochs + 1):
-            start = time.perf_counter()
+            start = timer()
             train_loss = self.train_epoch(train_inputs, train_targets)
             train_metrics = {}
             if self.config.eval_train:
@@ -407,7 +413,7 @@ class Trainer:
             stats = EpochStats(
                 epoch=epoch, train_loss=train_loss,
                 train_metrics=train_metrics, test_metrics=test_metrics,
-                seconds=time.perf_counter() - start,
+                seconds=timer() - start,
             )
             self.history.append(stats)
             if verbose:

@@ -50,6 +50,9 @@ def environment_meta() -> dict:
     import numpy as np
 
     return {
+        # Provenance stamp on the report artifact, outside every
+        # determinism contract (bench JSONs are views, not inputs).
+        # repro: disable=determinism
         "generated": datetime.datetime.now(datetime.timezone.utc)
                      .isoformat(timespec="seconds"),
         "cpu_count": os.cpu_count(),

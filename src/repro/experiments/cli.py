@@ -60,6 +60,16 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _stopwatch(timer=time.perf_counter):
+    """Elapsed-seconds closure over an injectable timer.
+
+    Operator progress display only — never a measurement; results come
+    from the harness's own injectable timers.
+    """
+    started = timer()
+    return lambda: timer() - started
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -70,29 +80,27 @@ def main(argv: list[str] | None = None) -> int:
                   f"  {spec.description}")
         return 0
     if args.command == "run":
-        started = time.perf_counter()
+        elapsed = _stopwatch()
         result = run_experiment(args.experiment_id, args.profile)
         print(result.render())
-        print(f"\n[{args.experiment_id} finished in "
-              f"{time.perf_counter() - started:.1f}s]")
+        print(f"\n[{args.experiment_id} finished in {elapsed():.1f}s]")
         return 0
     if args.command == "run-all":
         for experiment_id in EXPERIMENTS:
-            started = time.perf_counter()
+            elapsed = _stopwatch()
             result = run_experiment(experiment_id, args.profile)
             print("=" * 78)
             print(result.render())
-            print(f"[{experiment_id}: {time.perf_counter() - started:.1f}s]")
+            print(f"[{experiment_id}: {elapsed():.1f}s]")
         return 0
     if args.command == "harness":
         from .harness import preset_scenarios, run_scenarios
 
-        started = time.perf_counter()
+        elapsed = _stopwatch()
         table = run_scenarios(preset_scenarios(args.preset), log=print,
                               trace_dir=args.trace_dir)
         table.write_csv(args.table)
-        print(f"wrote {args.table} ({len(table)} rows, "
-              f"{time.perf_counter() - started:.1f}s)")
+        print(f"wrote {args.table} ({len(table)} rows, {elapsed():.1f}s)")
         if args.trace_dir:
             print(f"wrote telemetry artifacts to {args.trace_dir}/")
         if args.bench_json:

@@ -293,6 +293,9 @@ def _worker_main(spec: _PoolSpec, conn, index: int = 0,
     try:
         conn.send(("ready", os.getpid()))
         while True:
+            # Worker side of the pipe: blocking on the master is the
+            # design — the supervisor kills hung workers from outside.
+            # repro: disable=concurrency
             msg = conn.recv()
             cmd = msg["cmd"]
             if cmd == "stop":

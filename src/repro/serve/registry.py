@@ -63,8 +63,11 @@ class ModelRegistry:
         Registry directory (created on first ``save``).
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, clock=time.time):
         self.root = os.fspath(root)
+        # ``saved_unix`` provenance stamps go through an injectable
+        # clock so registry behaviour stays reproducible under test.
+        self._clock = clock
 
     # -- paths ---------------------------------------------------------------
     @staticmethod
@@ -316,7 +319,7 @@ class ModelRegistry:
         self._check_name(name)
         os.makedirs(os.path.join(self.root, name), exist_ok=True)
         meta = dict(meta or {})
-        meta.setdefault("saved_unix", time.time())
+        meta.setdefault("saved_unix", self._clock())
         tmp_npz = save_checkpoint(self._tmp_stem(name, "ckpt"), network,
                                   meta=meta)
         tmp_sidecar = os.path.splitext(tmp_npz)[0] + ".json"
@@ -361,7 +364,7 @@ class ModelRegistry:
         self._check_name(name)
         os.makedirs(os.path.join(self.root, name), exist_ok=True)
         meta = dict(meta or {})
-        meta.setdefault("saved_unix", time.time())
+        meta.setdefault("saved_unix", self._clock())
         tmp_json = save_hardware_profile(
             self._tmp_stem(name, "hw") + ".json", profile, meta=meta)
         while True:

@@ -5,6 +5,9 @@ rules validate eagerly, that triggers are a pure function of per-site
 visit order and the plan seed, and that plan state never leaks across
 processes (fresh/pickle reset) or installs (active() scoping).
 """
+# repro: disable-file=fault-sites — these tests exercise the plan
+# machinery itself with synthetic site names ("a", "site", ...) that
+# deliberately live outside KNOWN_SITES.
 
 import pickle
 

@@ -8,6 +8,13 @@ Walks README.md and docs/*.md and fails if
   importable module (plus, optionally, an attribute chain on it — e.g.
   ``repro.serve.server.ModelServer.poll``).  Docs drift silently when a
   module is renamed; imports do not.
+* any catalog table drifted from the code it documents (via the
+  linter's phase-1 project facts, see ``docs/static_analysis.md``):
+  the ``docs/observability.md`` instrument/event tables must name only
+  instruments the code actually emits, the ``docs/robustness.md`` site
+  table must match ``repro.common.faults.KNOWN_SITES`` exactly, and
+  the ``docs/experiments.md`` column reference must match the fixed
+  run-table schema in both directions.
 
 This is the `make docs` target and runs in CI — it keeps the README's
 promise that every paper artifact is reachable from it, and that every
@@ -23,10 +30,15 @@ from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
 MODULE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+BACKTICK = re.compile(r"`([^`]+)`")
+COLUMN_TOKEN = re.compile(r"^[a-z][a-z0-9_]*$")
 
 REPO = Path(__file__).resolve().parent.parent
 
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_smoke import load_lint  # noqa: E402  (needs tools/ on path)
 
 
 def check_links(markdown: Path) -> list[str]:
@@ -76,6 +88,91 @@ def check_module_refs(markdown: Path, cache: dict[str, bool]) -> list[str]:
     ]
 
 
+def _table_first_cells(text: str, header: str) -> list[str]:
+    """First-cell contents of every row of tables whose header's first
+    cell is exactly ``header``."""
+    cells: list[str] = []
+    active = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            active = False
+            continue
+        first = stripped.strip("|").split("|", 1)[0].strip()
+        if set(first) <= {"-", ":", " "}:
+            continue  # |---| separator
+        if not active:
+            active = first == header
+            continue
+        cells.append(first)
+    return cells
+
+
+def _backtick_tokens(cells: list[str], pattern: re.Pattern) -> set[str]:
+    return {token for cell in cells
+            for token in BACKTICK.findall(cell)
+            if pattern.match(token)}
+
+
+def check_catalogs() -> list[str]:
+    """Validate the docs' catalog tables against the code's live
+    catalogs, through the linter's phase-1 facts."""
+    lint = load_lint()
+    facts = lint.build_facts(root=REPO)
+    errors: list[str] = []
+
+    # docs/observability.md: every documented exact instrument/event
+    # name must still be emitted somewhere under src/repro.  (The code
+    # side — every emission is documented — is lint rule `instruments`.)
+    emitted: set[str] = set()
+    prefixes: set[str] = set()
+    for mod in facts.src_modules():
+        emitted |= mod.site_literals
+        for inst in mod.instruments:
+            (prefixes if inst.prefix else emitted).add(inst.name)
+    catalog = facts.instrument_catalog
+    for name in sorted(catalog.exact):
+        if name in emitted or any(name.startswith(p) for p in prefixes):
+            continue
+        errors.append(f"docs/observability.md: catalogued instrument "
+                      f"`{name}` is not emitted anywhere in src/repro")
+    for prefix in sorted(catalog.wildcard_prefixes):
+        if not any(n.startswith(prefix) for n in emitted | prefixes):
+            errors.append(f"docs/observability.md: wildcard entry "
+                          f"`{prefix}*` matches no emitted instrument")
+
+    # docs/robustness.md: the site table is KNOWN_SITES, exactly.
+    site_pattern = lint.facts.SITE_RE
+    robustness = (REPO / "docs" / "robustness.md").read_text("utf-8")
+    documented_sites = _backtick_tokens(
+        _table_first_cells(robustness, "site"), site_pattern)
+    known = set(facts.known_sites)
+    for site in sorted(documented_sites - known):
+        errors.append(f"docs/robustness.md: documented fault site "
+                      f"`{site}` is not in KNOWN_SITES")
+    for site in sorted(known - documented_sites):
+        errors.append(f"docs/robustness.md: KNOWN_SITES entry `{site}` "
+                      f"is missing from the site table")
+
+    # Column-reference tables (docs/experiments.md is the authoritative
+    # one, checked both ways; any other doc's `column` table must be a
+    # subset of the schema).
+    schema = set(facts.run_table_columns)
+    for doc in sorted((REPO / "docs").glob("*.md")):
+        documented = _backtick_tokens(
+            _table_first_cells(doc.read_text("utf-8"), "column"),
+            COLUMN_TOKEN)
+        rel = doc.relative_to(REPO)
+        for column in sorted(documented - schema):
+            errors.append(f"{rel}: documented column `{column}` is not "
+                          f"in the run-table schema")
+        if doc.name == "experiments.md":
+            for column in sorted(schema - documented):
+                errors.append(f"{rel}: run-table column `{column}` is "
+                              f"missing from the column reference")
+    return errors
+
+
 def main() -> int:
     sources = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
     missing = [str(s.relative_to(REPO)) for s in sources if not s.exists()]
@@ -89,6 +186,7 @@ def main() -> int:
         for error in (*check_links(source),
                       *check_module_refs(source, cache))
     ]
+    errors.extend(check_catalogs())
     for error in errors:
         print(error)
     checked = len(sources)
@@ -96,8 +194,9 @@ def main() -> int:
     if errors:
         print(f"FAIL: {len(errors)} problem(s) across {checked} files")
         return 1
-    print(f"OK: all local links resolve and all {refs} repro.* references "
-          f"import across {checked} documentation files")
+    print(f"OK: all local links resolve, all {refs} repro.* references "
+          f"import, and all catalog tables match the code across "
+          f"{checked} documentation files")
     return 0
 
 
